@@ -1,0 +1,32 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+model once under pytest-benchmark (single-shot — the payload is the
+regeneration itself, not a microbenchmark), prints the paper-vs-model
+rendering, and asserts the *shape* claims the paper makes (who wins, by
+roughly what factor, where the crossovers/OOMs fall). Absolute numbers
+are expected to deviate; EXPERIMENTS.md records every cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run a regenerator exactly once under the benchmark clock."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run
+
+
+def within_factor(model: float, paper: float, factor: float) -> bool:
+    """True when model and paper agree within a multiplicative factor."""
+    if paper <= 0 or model <= 0:
+        return False
+    ratio = model / paper
+    return 1.0 / factor <= ratio <= factor

@@ -1,0 +1,63 @@
+"""Ablation: load balancing vs scalar sparsity (§4.2).
+
+Sweeps the zero/one fraction of the scalar vector and compares GZKP with
+and without fine-grained task mapping, plus the bellperson baseline. The
+sparser the input, the more the no-LB variant and the window-parallel
+baseline fall behind.
+"""
+
+from repro.curves import CURVES
+from repro.gpusim import V100
+from repro.gpusim.device import XEON_5117
+from repro.msm import DigitStats, GzkpMsm, SubMsmPippenger
+
+
+def sweep_sparsity(n=1 << 20, sparsities=(0.0, 0.3, 0.6, 0.9)):
+    bls = CURVES["BLS12-381"]
+    k = 14
+    gz = GzkpMsm(bls.g1, bls.fr.bits, V100, window=k)
+    gz_no_lb = GzkpMsm(bls.g1, bls.fr.bits, V100, window=k,
+                       load_balanced=False)
+    bp = SubMsmPippenger(bls.g1, bls.fr.bits, V100)
+    rows = []
+    for sparse in sparsities:
+        stats_gz = DigitStats.sparse_model(
+            n, bls.fr.bits, k, zero_fraction=sparse / 2,
+            one_fraction=sparse / 2,
+        )
+        stats_bp = DigitStats.sparse_model(
+            n, bls.fr.bits, bp.window, zero_fraction=sparse / 2,
+            one_fraction=sparse / 2,
+        )
+        rows.append({
+            "sparsity": sparse,
+            "gzkp": gz.estimate_seconds(n, stats_gz),
+            "gzkp_no_lb": gz_no_lb.estimate_seconds(n, stats_gz),
+            "bellperson": bp.estimate_seconds(n, stats_bp,
+                                              cpu_device=XEON_5117),
+        })
+    return rows
+
+
+def test_load_balance_vs_sparsity(regen):
+    rows = regen(sweep_sparsity)
+    print()
+    print("Ablation: load balance vs scalar sparsity (BLS12-381, 2^20)")
+    print(f"{'0/1 frac':>9} {'GZKP':>9} {'GZKP-noLB':>10} {'bellperson':>11} "
+          f"{'noLB pen.':>10}")
+    for r in rows:
+        print(f"{r['sparsity']:>9.1f} {r['gzkp']:>9.4f} "
+              f"{r['gzkp_no_lb']:>10.4f} {r['bellperson']:>11.4f} "
+              f"{r['gzkp_no_lb'] / r['gzkp']:>10.2f}")
+
+    # LB always helps; its advantage grows with sparsity.
+    penalties = [r["gzkp_no_lb"] / r["gzkp"] for r in rows]
+    assert all(p > 1.0 for p in penalties)
+    assert penalties[-1] > penalties[0]
+
+    # GZKP's latency *drops* with sparsity (less work, still balanced);
+    # the baseline keeps paying its straggler window.
+    assert rows[-1]["gzkp"] < rows[0]["gzkp"] * 0.6
+    gz_gain = rows[0]["gzkp"] / rows[-1]["gzkp"]
+    bp_gain = rows[0]["bellperson"] / rows[-1]["bellperson"]
+    assert gz_gain > bp_gain

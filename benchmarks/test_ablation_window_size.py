@@ -1,0 +1,40 @@
+"""Ablation: MSM window size k and GZKP's profiling-based selection.
+
+§4.1: larger windows cut Pippenger's total additions but explode the
+point-merging task count past the SM capacity (scheduling overhead) and
+inflate the preprocessing table. The profiler must land near the sweep's
+true optimum.
+"""
+
+from repro.curves import CURVES
+from repro.gpusim import V100
+from repro.msm import GzkpMsm
+
+
+def sweep_window(n=1 << 22, windows=range(8, 23, 2)):
+    bls = CURVES["BLS12-381"]
+    rows = []
+    for k in windows:
+        engine = GzkpMsm(bls.g1, bls.fr.bits, V100, window=k)
+        rows.append({"window": k, "seconds": engine.estimate_seconds(n)})
+    profiled = GzkpMsm(bls.g1, bls.fr.bits, V100)
+    return rows, profiled.configure(n).window, profiled.estimate_seconds(n)
+
+
+def test_window_profiling_near_optimal(regen):
+    rows, chosen, chosen_seconds = regen(sweep_window)
+    print()
+    print("Ablation: window size k (BLS12-381, 2^22)")
+    print(f"{'k':>4} {'seconds':>10}")
+    for r in rows:
+        marker = "  <- profiled" if r["window"] == chosen else ""
+        print(f"{r['window']:>4} {r['seconds']:>10.3f}{marker}")
+    best = min(r["seconds"] for r in rows)
+    print(f"profiled k = {chosen}: {chosen_seconds:.3f}s (sweep best {best:.3f}s)")
+
+    # The sweep is not monotone: both extremes lose.
+    seconds = [r["seconds"] for r in rows]
+    assert min(seconds) < seconds[0]
+    assert min(seconds) < seconds[-1]
+    # Profiling lands within 10% of the swept optimum.
+    assert chosen_seconds <= best * 1.10

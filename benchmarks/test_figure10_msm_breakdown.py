@@ -1,0 +1,36 @@
+"""Figure 10: breakdown of the MSM improvements, BLS12-381 on one V100:
+BG -> GZKP-no-LB -> GZKP-no-LB w. lib -> full GZKP."""
+
+from repro.bench import figure10_msm_breakdown, render_figure_rows
+from repro.bench.paper_data import FIGURE10_CLAIMS
+
+
+def test_figure10(regen):
+    rows = regen(figure10_msm_breakdown)
+    print()
+    print(render_figure_rows(
+        "Figure 10: single-MSM breakdown, BLS12-381, V100", rows,
+        "seconds", "s"
+    ))
+    at_2_22 = next(r["seconds"] for r in rows if r["log_scale"] == 22)
+
+    for row in rows:
+        s = row["seconds"]
+        assert s["BG"] > s["GZKP-no-LB"]
+        assert s["GZKP-no-LB"] > s["GZKP-no-LB w. lib"]
+        assert s["GZKP-no-LB w. lib"] > s["GZKP"]
+
+    # Paper at 2^22: consolidation alone 3.25x, library +33%, full 5.6x.
+    consolidation = at_2_22["BG"] / at_2_22["GZKP-no-LB"]
+    lib_gain = at_2_22["GZKP-no-LB"] / at_2_22["GZKP-no-LB w. lib"]
+    full = at_2_22["BG"] / at_2_22["GZKP"]
+    assert 2.2 < consolidation < 4.5, (
+        f"consolidation {consolidation:.2f}, "
+        f"paper {FIGURE10_CLAIMS['no_lb_over_bg']}"
+    )
+    assert 1.1 < lib_gain < 1.7, (
+        f"lib gain {lib_gain:.2f}, paper {FIGURE10_CLAIMS['lib_gain']}"
+    )
+    assert 4.0 < full < 8.5, (
+        f"full speedup {full:.2f}, paper {FIGURE10_CLAIMS['full_over_bg']}"
+    )

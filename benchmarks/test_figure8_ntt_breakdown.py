@@ -1,0 +1,46 @@
+"""Figure 8: breakdown of the NTT improvements, BLS12-381 on the V100:
+BG -> BG w. lib -> GZKP-no-GM-shuffle -> full GZKP."""
+
+from repro.bench import figure8_ntt_breakdown, render_figure_rows
+from repro.bench.paper_data import FIGURE8_CLAIMS
+
+
+def test_figure8(regen):
+    rows = regen(figure8_ntt_breakdown)
+    print()
+    print(render_figure_rows(
+        "Figure 8: single-NTT breakdown, BLS12-381, V100", rows, "ms", "ms"
+    ))
+    at_2_22 = next(r["ms"] for r in rows if r["log_scale"] == 22)
+
+    # The ladder is monotone at every scale.
+    for row in rows:
+        ms = row["ms"]
+        assert ms["BG"] > ms["BG w. lib"]
+        assert ms["BG w. lib"] >= ms["GZKP-no-GM-shuffle"]
+        assert ms["GZKP-no-GM-shuffle"] > ms["GZKP"]
+
+    # Paper: the library alone gives ~1.6x at 2^22; allow a band.
+    lib_speedup = at_2_22["BG"] / at_2_22["BG w. lib"]
+    assert 1.15 < lib_speedup < 2.2, (
+        f"lib speedup {lib_speedup:.2f}, paper {FIGURE8_CLAIMS['lib_speedup']}"
+    )
+    # Paper: full GZKP another ~1.5x over BG w. lib.
+    gz_speedup = at_2_22["BG w. lib"] / at_2_22["GZKP"]
+    assert 1.2 < gz_speedup < 2.5, (
+        f"GZKP speedup {gz_speedup:.2f}, paper {FIGURE8_CLAIMS['gzkp_over_lib']}"
+    )
+
+
+def test_block_division_pathology_at_2_18():
+    """Figure 8's narrative: at 2^18 the baseline's last batch is 2
+    iterations across 2^16 two-thread blocks — 30 of 32 lanes idle."""
+    rows = figure8_ntt_breakdown(log_scales=(16, 18))
+    bg16 = rows[0]["ms"]["BG"]
+    bg18 = rows[1]["ms"]["BG"]
+    gz16 = rows[0]["ms"]["GZKP"]
+    gz18 = rows[1]["ms"]["GZKP"]
+    # Work grows 4.5x; the baseline's latency jumps far beyond that,
+    # GZKP's does not.
+    assert bg18 / bg16 > 8
+    assert gz18 / gz16 < 6

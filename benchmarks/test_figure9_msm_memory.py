@@ -1,0 +1,33 @@
+"""Figure 9: MSM memory usage with different curves on the V100 —
+MINA vs GZKP-MNT4 (753-bit) and bellperson vs GZKP-BLS (381-bit)."""
+
+from repro.bench import figure9_msm_memory, render_memory_rows
+
+
+def test_figure9(regen):
+    rows = regen(figure9_msm_memory)
+    print()
+    print(render_memory_rows("Figure 9: MSM memory usage, V100", rows))
+    by_scale = {r["log_scale"]: r["gib"] for r in rows}
+
+    # MINA fits at 2^22, OOMs beyond (the paper's crossing point).
+    assert by_scale[22]["MINA"] is not None
+    assert by_scale[24]["MINA"] is None
+    assert by_scale[26]["MINA"] is None
+
+    # GZKP fits at every scale on both curves.
+    for row in rows:
+        assert row["gib"]["GZKP-MNT4"] is not None
+        assert row["gib"]["GZKP-BLS"] is not None
+
+    # MINA's table growth outpaces GZKP's up to its OOM point.
+    assert (
+        by_scale[22]["MINA"] / by_scale[14]["MINA"]
+        > by_scale[22]["GZKP-MNT4"] / by_scale[14]["GZKP-MNT4"]
+    )
+
+    # GZKP-BLS uses more memory than bellperson (the paper concedes
+    # this) but plateaus: 16x more data from 2^22 to 2^26 costs < 3x.
+    for lg in (18, 22, 26):
+        assert by_scale[lg]["GZKP-BLS"] >= by_scale[lg]["bellperson"] * 0.5
+    assert by_scale[26]["GZKP-BLS"] / by_scale[22]["GZKP-BLS"] < 3.0

@@ -1,0 +1,31 @@
+"""Table 2: end-to-end zkSNARK proof generation, MNT4753 (753-bit),
+one V100 — Best-CPU (libsnark) vs Best-GPU (MINA) vs GZKP."""
+
+from conftest import within_factor
+
+from repro.bench import render_workload_table, table2_zksnark
+
+COLUMNS = ["bc_poly", "bc_msm", "bg_msm", "gz_poly", "gz_msm",
+           "speedup_cpu", "speedup_gpu"]
+
+
+def test_table2(regen):
+    rows = regen(table2_zksnark)
+    print()
+    print(render_workload_table(
+        "Table 2: zkSNARK workloads, MNT4753, V100 (seconds)", rows, COLUMNS
+    ))
+    for row in rows:
+        model, paper = row["model"], row["paper"]
+        # GZKP beats both baselines on every workload.
+        assert model["speedup_cpu"] > 10
+        assert model["speedup_gpu"] > 5
+        # Stage times within a small factor of the paper's.
+        assert within_factor(model["gz_msm"], paper["gz_msm"], 3.5)
+        assert within_factor(model["bc_msm"], paper["bc_msm"], 3.5)
+        # MSM dominates the CPU prover (>= 70% of time, §2.3 at scale).
+        if row["vector_size"] > 50000:
+            assert model["bc_msm"] > model["bc_poly"]
+    # Speedups grow with workload size (the paper's 14x -> 48.1x trend).
+    speedups = [r["model"]["speedup_gpu"] for r in rows]
+    assert speedups[-1] > speedups[0]

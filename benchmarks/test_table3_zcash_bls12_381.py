@@ -1,0 +1,26 @@
+"""Table 3: Zcash proof generation, BLS12-381 (381-bit), one V100 —
+bellman vs bellperson vs GZKP."""
+
+from conftest import within_factor
+
+from repro.bench import render_workload_table, table3_zcash
+
+COLUMNS = ["bc_poly", "bc_msm", "bg_poly", "bg_msm", "gz_poly", "gz_msm",
+           "speedup_cpu", "speedup_gpu"]
+
+
+def test_table3(regen):
+    rows = regen(table3_zcash)
+    print()
+    print(render_workload_table(
+        "Table 3: Zcash workloads, BLS12-381, V100 (seconds)", rows, COLUMNS
+    ))
+    for row in rows:
+        model, paper = row["model"], row["paper"]
+        assert model["speedup_cpu"] > 5
+        assert model["speedup_gpu"] > 2
+        assert within_factor(model["gz_msm"], paper["gz_msm"], 3.5)
+        assert within_factor(model["bc_msm"], paper["bc_msm"], 3.0)
+    # Sprout (the largest) shows the biggest CPU speedup (paper: 46.3x).
+    by_name = {r["workload"]: r["model"]["speedup_cpu"] for r in rows}
+    assert by_name["Sprout"] > by_name["Sapling_Output"]

@@ -1,0 +1,35 @@
+"""Table 4: Zcash proof generation on four V100s — bellperson vs GZKP,
+both in their multi-GPU modes."""
+
+from repro.bench import render_workload_table, table4_multigpu
+from repro.circuits import ZCASH_WORKLOADS
+from repro.systems import GzkpSystem
+
+COLUMNS = ["bg_poly", "bg_msm", "gz_poly", "gz_msm", "speedup"]
+
+
+def test_table4(regen):
+    rows = regen(table4_multigpu)
+    print()
+    print(render_workload_table(
+        "Table 4: Zcash workloads, 4x V100 (seconds)", rows, COLUMNS
+    ))
+    for row in rows:
+        assert row["model"]["speedup"] > 2  # GZKP wins on every workload
+    # Larger workloads benefit more (paper: 9.2x -> 17.6x).
+    assert rows[-1]["model"]["speedup"] > rows[0]["model"]["speedup"]
+
+
+def test_multi_gpu_scaling_over_single_card():
+    """The paper reports ~2.1x average gain from 4 cards for GZKP."""
+    single = GzkpSystem("BLS12-381", n_gpus=1)
+    quad = GzkpSystem("BLS12-381", n_gpus=4)
+    gains = []
+    for w in ZCASH_WORKLOADS.values():
+        t1 = single.prove_seconds(w).total_seconds
+        t4 = quad.prove_seconds(w).total_seconds
+        gains.append(t1 / t4)
+    average = sum(gains) / len(gains)
+    assert 1.2 < average < 4.0
+    # The largest workload scales best.
+    assert max(gains) == gains[-1]

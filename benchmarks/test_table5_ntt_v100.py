@@ -1,0 +1,38 @@
+"""Table 5: single-NTT latency on the V100, 753-bit (vs libsnark) and
+256-bit-class (vs bellperson), scales 2^14 - 2^26."""
+
+from conftest import within_factor
+
+from repro.bench import render_scale_table, table5_ntt_v100
+
+COLUMNS = ["bc_753", "gz_753", "bg_256", "gz_256"]
+
+
+def test_table5(regen):
+    rows = regen(table5_ntt_v100)
+    print()
+    print(render_scale_table("Table 5: single NTT, V100", rows, COLUMNS, "ms"))
+    by_scale = {r["log_scale"]: r["model"] for r in rows}
+    paper = {r["log_scale"]: r["paper"] for r in rows}
+
+    for lg, model in by_scale.items():
+        # GZKP wins both comparisons at every scale.
+        assert model["gz_753"] < model["bc_753"]
+        assert model["gz_256"] < model["bg_256"]
+        # Cells within a modest factor of the paper's.
+        assert within_factor(model["bc_753"], paper[lg]["bc_753"], 2.0)
+        assert within_factor(model["gz_753"], paper[lg]["gz_753"], 2.0)
+        assert within_factor(model["gz_256"], paper[lg]["gz_256"], 2.5)
+
+    # 753-bit speedup is in the hundreds (paper: 218x - 697x).
+    for lg in (14, 20, 26):
+        speedup = by_scale[lg]["bc_753"] / by_scale[lg]["gz_753"]
+        assert 100 < speedup < 1500
+
+    # The baseline's batch-boundary jumps: 2^18 (3rd batch appears with a
+    # degenerate 2-iteration tail) and 2^26 (4th batch).
+    assert by_scale[18]["bg_256"] / by_scale[16]["bg_256"] > 8
+    assert by_scale[26]["bg_256"] / by_scale[24]["bg_256"] > 10
+    # GZKP has no such jump: near-linear N log N scaling.
+    assert by_scale[18]["gz_256"] / by_scale[16]["gz_256"] < 6
+    assert by_scale[26]["gz_256"] / by_scale[24]["gz_256"] < 6

@@ -1,0 +1,33 @@
+"""Table 7: single G1 MSM on the V100 across the three curves —
+MINA (753-bit), bellperson (381-bit) and libsnark (256-bit) vs GZKP."""
+
+from conftest import within_factor
+
+from repro.bench import render_scale_table, table7_msm_v100
+
+COLUMNS = ["mina_753", "gz_753", "bp_381", "gz_381", "cpu_256", "gz_256"]
+
+
+def test_table7(regen):
+    rows = regen(table7_msm_v100)
+    print()
+    print(render_scale_table("Table 7: single G1 MSM, V100", rows,
+                             COLUMNS, "s"))
+    by_scale = {r["log_scale"]: r["model"] for r in rows}
+    paper = {r["log_scale"]: r["paper"] for r in rows}
+
+    # MINA runs out of memory above 2^22 (Figure 9 / Table 7's dashes).
+    assert by_scale[22]["mina_753"] is not None
+    assert by_scale[24]["mina_753"] is None
+    assert by_scale[26]["mina_753"] is None
+
+    for lg, model in by_scale.items():
+        if model["mina_753"] is not None:
+            # GZKP vs MINA: paper reports 4.5x - 12.4x.
+            assert 3 < model["mina_753"] / model["gz_753"] < 25
+        # GZKP vs bellperson: paper reports 5.6x - 8.5x.
+        assert 3 < model["bp_381"] / model["gz_381"] < 15
+        # GZKP vs libsnark: paper reports 18x - 33x.
+        assert 8 < model["cpu_256"] / model["gz_256"] < 60
+        for col in ("gz_753", "gz_381", "gz_256", "cpu_256", "bp_381"):
+            assert within_factor(model[col], paper[lg][col], 3.0), (lg, col)

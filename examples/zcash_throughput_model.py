@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Model a Zcash shielded transaction's proving latency across systems.
+
+A shielded transaction combines Sapling Spend and Output proofs (§5.2).
+This script uses the end-to-end system models to answer: how long does
+proof generation take on each system, and what does adding GPUs buy?
+
+Run:  python examples/zcash_throughput_model.py
+"""
+
+from repro.circuits import ZCASH_WORKLOADS
+from repro.systems import BellmanSystem, BellpersonSystem, GzkpSystem
+
+
+def transaction_latency(system) -> float:
+    """One shielded transaction ~ 2 Spend proofs + 2 Output proofs."""
+    spend = system.prove_seconds(ZCASH_WORKLOADS["Sapling_Spend"])
+    output = system.prove_seconds(ZCASH_WORKLOADS["Sapling_Output"])
+    return 2 * spend.total_seconds + 2 * output.total_seconds
+
+
+def main():
+    systems = {
+        "bellman (CPU, 2x Xeon 5117)": BellmanSystem("BLS12-381"),
+        "bellperson (1x V100)": BellpersonSystem("BLS12-381"),
+        "GZKP (1x V100)": GzkpSystem("BLS12-381"),
+        "GZKP (4x V100)": GzkpSystem("BLS12-381", n_gpus=4),
+    }
+    print("Zcash shielded transaction (2x Spend + 2x Output), modeled:")
+    print(f"{'system':>32} {'latency':>10} {'tx/min':>8}")
+    baseline = None
+    for name, system in systems.items():
+        latency = transaction_latency(system)
+        if baseline is None:
+            baseline = latency
+        print(f"{name:>32} {latency:>9.2f}s {60 / latency:>8.1f}  "
+              f"({baseline / latency:.1f}x vs CPU)")
+
+    print("\nper-workload breakdown (seconds, POLY + MSM):")
+    print(f"{'workload':>16} " + " ".join(f"{n.split(' ')[0]:>18}"
+                                          for n in systems))
+    for wname, w in ZCASH_WORKLOADS.items():
+        cells = []
+        for system in systems.values():
+            t = system.prove_seconds(w)
+            cells.append(f"{t.poly_seconds:.3f}+{t.msm_seconds:.3f}")
+        print(f"{wname:>16} " + " ".join(f"{c:>18}" for c in cells))
+
+
+if __name__ == "__main__":
+    main()

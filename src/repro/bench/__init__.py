@@ -1,0 +1,48 @@
+"""Benchmark harness: one regenerator per table and figure of the
+paper's evaluation, plus paper-number transcriptions and rendering."""
+
+from repro.bench import paper_data
+from repro.bench.tables import (
+    table2_zksnark,
+    table3_zcash,
+    table4_multigpu,
+    table5_ntt_v100,
+    table6_ntt_1080ti,
+    table7_msm_v100,
+    table8_msm_1080ti,
+)
+from repro.bench.figures import (
+    figure6_bucket_distribution,
+    figure8_ntt_breakdown,
+    figure9_msm_memory,
+    figure10_msm_breakdown,
+    zcash_like_scalars,
+)
+from repro.bench.report import (
+    fmt_cell,
+    render_figure_rows,
+    render_memory_rows,
+    render_scale_table,
+    render_workload_table,
+)
+
+__all__ = [
+    "paper_data",
+    "table2_zksnark",
+    "table3_zcash",
+    "table4_multigpu",
+    "table5_ntt_v100",
+    "table6_ntt_1080ti",
+    "table7_msm_v100",
+    "table8_msm_1080ti",
+    "figure6_bucket_distribution",
+    "figure8_ntt_breakdown",
+    "figure9_msm_memory",
+    "figure10_msm_breakdown",
+    "zcash_like_scalars",
+    "fmt_cell",
+    "render_workload_table",
+    "render_scale_table",
+    "render_figure_rows",
+    "render_memory_rows",
+]

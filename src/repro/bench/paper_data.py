@@ -1,0 +1,102 @@
+"""The paper's reported numbers, transcribed for side-by-side reporting.
+
+Every regenerator prints paper-vs-model columns; EXPERIMENTS.md is
+generated from the same data. Units: seconds for Tables 2-4 and 7-8,
+milliseconds for Tables 5-6, GiB-free for Figure 9 (the paper plots GB).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2", "TABLE3", "TABLE4", "TABLE5_V100", "TABLE6_1080TI",
+    "TABLE7_V100", "TABLE8_1080TI", "FIGURE6_MAX_SPREAD",
+    "FIGURE8_CLAIMS", "FIGURE10_CLAIMS",
+]
+
+# Table 2: zkSNARK workloads, MNT4753, one V100.
+# name: (vector, bc_poly, bc_msm, bg_poly, bg_msm, gz_poly, gz_msm,
+#        speedup_cpu, speedup_gpu)
+TABLE2 = {
+    "AES": (16383, 0.85, 0.83, 0.85, 0.59, 0.004, 0.099, 16.3, 14.0),
+    "SHA-256": (32767, 0.97, 1.14, 0.97, 0.90, 0.005, 0.066, 29.8, 26.3),
+    "RSAEnc": (98303, 3.58, 3.77, 3.58, 1.86, 0.022, 0.12, 53.2, 39.4),
+    "RSASigVer": (131071, 2.57, 4.77, 2.57, 1.63, 0.024, 0.13, 46.7, 26.7),
+    "Merkle-Tree": (294911, 10.03, 12.33, 10.03, 3.72, 0.06, 0.22, 78.2, 48.1),
+    "Auction": (557055, 19.46, 14.27, 19.46, 5.41, 0.15, 0.37, 64.3, 47.4),
+}
+
+# Table 3: Zcash workloads, BLS12-381, one V100.
+TABLE3 = {
+    "Sapling_Output": (8191, 0.17, 0.21, 0.052, 0.26, 0.001, 0.033, 11.1, 9.2),
+    "Sapling_Spend": (131071, 0.43, 1.07, 0.16, 0.50, 0.003, 0.09, 16.7, 7.1),
+    "Sprout": (2097151, 4.05, 9.61, 0.69, 2.24, 0.049, 0.25, 46.3, 9.8),
+}
+
+# Table 4: Zcash workloads, BLS12-381, four V100s.
+# name: (vector, bg_poly, bg_msm, gz_poly, gz_msm, speedup)
+TABLE4 = {
+    "Sapling_Output": (8191, 0.052, 0.14, 0.0006, 0.021, 9.2),
+    "Sapling_Spend": (131071, 0.16, 0.31, 0.0017, 0.049, 9.3),
+    "Sprout": (2097151, 0.69, 1.08, 0.027, 0.074, 17.6),
+}
+
+# Table 5: single NTT on V100, milliseconds.
+# log_scale: (bc_753, gz_753, bg_256, gz_256)
+TABLE5_V100 = {
+    14: (102, 0.15, 0.37, 0.05),
+    16: (212, 0.49, 0.48, 0.09),
+    18: (565, 1.91, 2.89, 0.28),
+    20: (2110, 7.46, 5.19, 1.07),
+    22: (8180, 33.67, 12.69, 4.96),
+    24: (32517, 141.40, 46.74, 20.99),
+    26: (131441, 602.53, 665.84, 91.05),
+}
+
+# Table 6: single NTT on GTX 1080 Ti, milliseconds.
+TABLE6_1080TI = {
+    14: (102, 0.33, 0.52, 0.06),
+    16: (212, 1.16, 0.98, 0.18),
+    18: (565, 6.21, 14.64, 0.70),
+    20: (2110, 27.26, 23.80, 2.87),
+    22: (8180, 119.82, 70.50, 12.83),
+    24: (32517, 539.25, 234.59, 56.18),
+}
+
+# Table 7: single G1 MSM on V100, seconds. None = OOM / not reported.
+# log_scale: (mina_753, gz_753, bp_381, gz_381, cpu_256, gz_256)
+TABLE7_V100 = {
+    14: (0.13, 0.02, 0.025, 0.004, 0.07, 0.004),
+    16: (0.48, 0.05, 0.052, 0.007, 0.18, 0.006),
+    18: (1.99, 0.16, 0.14, 0.020, 0.45, 0.015),
+    20: (7.2, 0.60, 0.53, 0.062, 1.48, 0.045),
+    22: (28.1, 2.66, 1.35, 0.24, 4.90, 0.17),
+    24: (None, 11.3, 6.55, 1.10, 17.27, 0.72),
+    26: (None, 40.7, 24.42, 4.00, 65.70, 2.79),
+}
+
+# Table 8: single G1 MSM on GTX 1080 Ti, seconds.
+TABLE8_1080TI = {
+    14: (0.35, 0.08, 0.093, 0.015, 0.07, 0.007),
+    16: (1.00, 0.20, 0.20, 0.032, 0.18, 0.013),
+    18: (2.71, 0.71, 0.64, 0.073, 0.45, 0.032),
+    20: (10.07, 2.51, 1.43, 0.26, 1.48, 0.10),
+    22: (None, 11.91, 4.53, 1.03, 4.90, 0.37),
+    24: (None, 46.83, 19.86, 4.16, 17.27, 1.50),
+}
+
+# Figure 6: up to 2.85x spread in per-bucket point counts (Zcash MSM,
+# scale 2^17, 256-bit scalars).
+FIGURE6_MAX_SPREAD = 2.85
+
+# Figure 8 claims at NTT scale 2^22, BLS12-381:
+FIGURE8_CLAIMS = {
+    "lib_speedup": 1.6,        # BG w. lib over BG
+    "gzkp_over_lib": 1.5,      # full GZKP over BG w. lib
+}
+
+# Figure 10 claims at MSM scale 2^22, BLS12-381:
+FIGURE10_CLAIMS = {
+    "no_lb_over_bg": 3.25,     # GZKP-no-LB over BG
+    "lib_gain": 1.33,          # GZKP-no-LB w. lib over GZKP-no-LB
+    "full_over_bg": 5.6,       # full GZKP over BG
+}

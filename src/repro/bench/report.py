@@ -1,0 +1,76 @@
+"""Rendering of regenerated tables/figures in paper-style text form."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["fmt_cell", "render_workload_table", "render_scale_table",
+           "render_figure_rows", "render_memory_rows"]
+
+
+def fmt_cell(value: Optional[float], digits: int = 3) -> str:
+    if value is None:
+        return "OOM"
+    if value == 0:
+        return "0"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.{digits}f}"
+
+
+def _pair(paper: Optional[float], model: Optional[float]) -> str:
+    return f"{fmt_cell(paper)}/{fmt_cell(model)}"
+
+
+def render_workload_table(title: str, rows: List[Dict],
+                          columns: List[str]) -> str:
+    """Side-by-side paper/model rendering of Table 2/3/4-style rows."""
+    lines = [title, "cells are paper/model"]
+    header = f"{'workload':>15} {'vector':>9} " + " ".join(
+        f"{c:>15}" for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = " ".join(
+            f"{_pair(row['paper'][c], row['model'][c]):>15}" for c in columns
+        )
+        lines.append(
+            f"{row['workload']:>15} {row['vector_size']:>9} {cells}"
+        )
+    return "\n".join(lines)
+
+
+def render_scale_table(title: str, rows: List[Dict],
+                       columns: List[str], unit: str) -> str:
+    """Side-by-side rendering of Table 5-8-style rows keyed by scale."""
+    lines = [title, f"cells are paper/model ({unit})"]
+    header = f"{'scale':>6} " + " ".join(f"{c:>19}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = " ".join(
+            f"{_pair(row['paper'][c], row['model'][c]):>19}" for c in columns
+        )
+        lines.append(f"2^{row['log_scale']:<4} {cells}")
+    return "\n".join(lines)
+
+
+def render_figure_rows(title: str, rows: List[Dict], key: str,
+                       unit: str) -> str:
+    """Render figure series ({log_scale, {series: value}})."""
+    series = list(rows[0][key])
+    lines = [title, f"values in {unit}"]
+    header = f"{'scale':>6} " + " ".join(f"{s:>20}" for s in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = " ".join(f"{fmt_cell(row[key][s]):>20}" for s in series)
+        lines.append(f"2^{row['log_scale']:<4} {cells}")
+    return "\n".join(lines)
+
+
+def render_memory_rows(title: str, rows: List[Dict]) -> str:
+    return render_figure_rows(title, rows, key="gib", unit="GiB (OOM = exceeds device)")

@@ -1,0 +1,188 @@
+"""Regenerators for every table in the paper's evaluation (§5).
+
+Each function returns a list of row dicts with both the paper's value
+and the model's value for every cell, ready for rendering
+(:mod:`repro.bench.report`) or assertion (the benchmark suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench import paper_data
+from repro.circuits.workloads import ZCASH_WORKLOADS, ZKSNARK_WORKLOADS
+from repro.curves.params import CURVES
+from repro.errors import GpuOutOfMemoryError
+from repro.gpusim import GTX1080TI, V100
+from repro.gpusim.device import XEON_5117, GpuDevice
+from repro.msm.cpu import CpuMsm
+from repro.msm.gzkp import GzkpMsm
+from repro.msm.pippenger import SubMsmPippenger
+from repro.msm.straus import StrausMsm
+from repro.ntt.cpu import CpuNtt
+from repro.ntt.gpu_baseline import BaselineGpuNtt
+from repro.ntt.gpu_gzkp import GzkpNtt
+from repro.systems.implementations import (
+    BellmanSystem,
+    BellpersonSystem,
+    GzkpSystem,
+    LibsnarkSystem,
+    MinaSystem,
+)
+
+__all__ = [
+    "table2_zksnark", "table3_zcash", "table4_multigpu",
+    "table5_ntt_v100", "table6_ntt_1080ti",
+    "table7_msm_v100", "table8_msm_1080ti",
+]
+
+Row = Dict[str, object]
+
+
+def _workload_rows(workloads, paper, cpu_system, gpu_system,
+                   gzkp_system) -> List[Row]:
+    rows = []
+    for name, w in workloads.items():
+        p = paper[name]
+        t_cpu = cpu_system.prove_seconds(w)
+        t_gpu = gpu_system.prove_seconds(w)
+        t_gz = gzkp_system.prove_seconds(w)
+        rows.append({
+            "workload": name,
+            "vector_size": w.vector_size,
+            "paper": {
+                "bc_poly": p[1], "bc_msm": p[2],
+                "bg_poly": p[3], "bg_msm": p[4],
+                "gz_poly": p[5], "gz_msm": p[6],
+                "speedup_cpu": p[7], "speedup_gpu": p[8],
+            },
+            "model": {
+                "bc_poly": t_cpu.poly_seconds, "bc_msm": t_cpu.msm_seconds,
+                "bg_poly": t_gpu.poly_seconds, "bg_msm": t_gpu.msm_seconds,
+                "gz_poly": t_gz.poly_seconds, "gz_msm": t_gz.msm_seconds,
+                "speedup_cpu": t_cpu.total_seconds / t_gz.total_seconds,
+                "speedup_gpu": t_gpu.total_seconds / t_gz.total_seconds,
+            },
+        })
+    return rows
+
+
+def table2_zksnark() -> List[Row]:
+    """Table 2: zkSNARK workloads, MNT4753 (753-bit), one V100."""
+    return _workload_rows(
+        ZKSNARK_WORKLOADS, paper_data.TABLE2,
+        LibsnarkSystem("MNT4753"), MinaSystem("MNT4753"),
+        GzkpSystem("MNT4753"),
+    )
+
+
+def table3_zcash() -> List[Row]:
+    """Table 3: Zcash workloads, BLS12-381 (381-bit), one V100."""
+    return _workload_rows(
+        ZCASH_WORKLOADS, paper_data.TABLE3,
+        BellmanSystem("BLS12-381"), BellpersonSystem("BLS12-381"),
+        GzkpSystem("BLS12-381"),
+    )
+
+
+def table4_multigpu() -> List[Row]:
+    """Table 4: Zcash workloads on four V100s."""
+    bp4 = BellpersonSystem("BLS12-381", n_gpus=4)
+    gz4 = GzkpSystem("BLS12-381", n_gpus=4)
+    rows = []
+    for name, w in ZCASH_WORKLOADS.items():
+        p = paper_data.TABLE4[name]
+        t_bp = bp4.prove_seconds(w)
+        t_gz = gz4.prove_seconds(w)
+        rows.append({
+            "workload": name,
+            "vector_size": w.vector_size,
+            "paper": {
+                "bg_poly": p[1], "bg_msm": p[2],
+                "gz_poly": p[3], "gz_msm": p[4], "speedup": p[5],
+            },
+            "model": {
+                "bg_poly": t_bp.poly_seconds, "bg_msm": t_bp.msm_seconds,
+                "gz_poly": t_gz.poly_seconds, "gz_msm": t_gz.msm_seconds,
+                "speedup": t_bp.total_seconds / t_gz.total_seconds,
+            },
+        })
+    return rows
+
+
+def _ntt_rows(device: GpuDevice, paper: Dict[int, tuple]) -> List[Row]:
+    fr753 = CURVES["MNT4753"].fr
+    fr256 = CURVES["BLS12-381"].fr
+    cpu753 = CpuNtt(fr753, XEON_5117)
+    gz753 = GzkpNtt(fr753, device)
+    bg256 = BaselineGpuNtt(fr256, device)
+    gz256 = GzkpNtt(fr256, device)
+    rows = []
+    for lg, p in paper.items():
+        n = 1 << lg
+        rows.append({
+            "log_scale": lg,
+            "paper": {"bc_753": p[0], "gz_753": p[1],
+                      "bg_256": p[2], "gz_256": p[3]},
+            "model": {
+                "bc_753": cpu753.estimate_seconds(n) * 1e3,
+                "gz_753": gz753.estimate_seconds(n) * 1e3,
+                "bg_256": bg256.estimate_seconds(n) * 1e3,
+                "gz_256": gz256.estimate_seconds(n) * 1e3,
+            },
+        })
+    return rows
+
+
+def table5_ntt_v100() -> List[Row]:
+    """Table 5: single NTT on the V100 (milliseconds)."""
+    return _ntt_rows(V100, paper_data.TABLE5_V100)
+
+
+def table6_ntt_1080ti() -> List[Row]:
+    """Table 6: single NTT on the GTX 1080 Ti (milliseconds)."""
+    return _ntt_rows(GTX1080TI, paper_data.TABLE6_1080TI)
+
+
+def _msm_cell(engine, n: int) -> Optional[float]:
+    try:
+        return engine.estimate_seconds(n)
+    except GpuOutOfMemoryError:
+        return None
+
+
+def _msm_rows(device: GpuDevice, paper: Dict[int, tuple]) -> List[Row]:
+    mnt, bls, bn = CURVES["MNT4753"], CURVES["BLS12-381"], CURVES["ALT-BN128"]
+    mina = StrausMsm(mnt.g1, mnt.fr.bits, device)
+    gz753 = GzkpMsm(mnt.g1, mnt.fr.bits, device)
+    gz381 = GzkpMsm(bls.g1, bls.fr.bits, device)
+    gz256 = GzkpMsm(bn.g1, bn.fr.bits, device)
+    bp381 = SubMsmPippenger(bls.g1, bls.fr.bits, device)
+    cpu256 = CpuMsm(bn.g1, bn.fr.bits, XEON_5117)
+    rows = []
+    for lg, p in paper.items():
+        n = 1 << lg
+        rows.append({
+            "log_scale": lg,
+            "paper": {"mina_753": p[0], "gz_753": p[1], "bp_381": p[2],
+                      "gz_381": p[3], "cpu_256": p[4], "gz_256": p[5]},
+            "model": {
+                "mina_753": _msm_cell(mina, n),
+                "gz_753": gz753.estimate_seconds(n),
+                "bp_381": bp381.estimate_seconds(n, cpu_device=XEON_5117),
+                "gz_381": gz381.estimate_seconds(n),
+                "cpu_256": cpu256.estimate_seconds(n),
+                "gz_256": gz256.estimate_seconds(n),
+            },
+        })
+    return rows
+
+
+def table7_msm_v100() -> List[Row]:
+    """Table 7: single G1 MSM on the V100 (seconds)."""
+    return _msm_rows(V100, paper_data.TABLE7_V100)
+
+
+def table8_msm_1080ti() -> List[Row]:
+    """Table 8: single G1 MSM on the GTX 1080 Ti (seconds)."""
+    return _msm_rows(GTX1080TI, paper_data.TABLE8_1080TI)

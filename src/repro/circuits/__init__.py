@@ -1,0 +1,40 @@
+"""Workload circuits: the builder DSL, synthetic application circuits
+(cipher/hash/RSA/Merkle/auction), and the Table 2/3 workload registry."""
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.gadget_circuits import (
+    aes_like_circuit,
+    auction_circuit,
+    merkle_tree_circuit,
+    rsa_enc_circuit,
+    rsa_sig_verify_circuit,
+    sha256_like_circuit,
+)
+from repro.circuits.zcash import (
+    sapling_output_circuit,
+    sapling_spend_circuit,
+    sprout_joinsplit_circuit,
+)
+from repro.circuits.workloads import (
+    ZCASH_WORKLOADS,
+    ZKSNARK_WORKLOADS,
+    Workload,
+    workload,
+)
+
+__all__ = [
+    "CircuitBuilder",
+    "aes_like_circuit",
+    "sha256_like_circuit",
+    "rsa_enc_circuit",
+    "rsa_sig_verify_circuit",
+    "merkle_tree_circuit",
+    "auction_circuit",
+    "sapling_output_circuit",
+    "sapling_spend_circuit",
+    "sprout_joinsplit_circuit",
+    "Workload",
+    "ZKSNARK_WORKLOADS",
+    "ZCASH_WORKLOADS",
+    "workload",
+]

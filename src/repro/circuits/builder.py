@@ -1,0 +1,198 @@
+"""Circuit construction DSL over R1CS.
+
+A thin gadget layer — multiplication, addition (free, folded into linear
+combinations), boolean constraints, range/bound checks, selections —
+from which the workload generators compose their circuits. The range
+checks are deliberately faithful to real front-ends (xJsnark, bellman's
+gadgets): each bound check materialises one 0/1 witness variable per
+bit, which is exactly why real-world scalar vectors are full of 0s and
+1s (paper §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CircuitError
+from repro.ff.primefield import PrimeField
+from repro.snark.r1cs import R1CS
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Builds an :class:`R1CS` together with its witness assignment."""
+
+    def __init__(self, field: PrimeField, n_public: int = 0):
+        self.field = field
+        self.r1cs = R1CS(field=field, n_public=n_public)
+        # Assignment grows in lock-step with variable allocation.
+        self._values: List[int] = [1] + [0] * n_public
+        self._public_cursor = 1
+
+    # -- variables -----------------------------------------------------------------
+
+    @property
+    def one(self) -> int:
+        """Index of the constant-1 variable."""
+        return 0
+
+    def set_public(self, value: int) -> int:
+        """Bind the next public-input slot to ``value``; returns its
+        variable index."""
+        if self._public_cursor > self.r1cs.n_public:
+            raise CircuitError("all public-input slots already bound")
+        idx = self._public_cursor
+        self._values[idx] = value % self.field.modulus
+        self._public_cursor += 1
+        return idx
+
+    def witness(self, value: int) -> int:
+        """Allocate a private witness variable holding ``value``."""
+        idx = self.r1cs.new_variable()
+        self._values.append(value % self.field.modulus)
+        return idx
+
+    def value(self, var: int) -> int:
+        return self._values[var]
+
+    # -- gates ----------------------------------------------------------------------
+
+    @staticmethod
+    def _lc(*terms) -> Dict[int, int]:
+        """Build a linear combination from (var, coeff) pairs, summing
+        coefficients when the same variable appears twice (gates must
+        stay correct when their arguments alias)."""
+        lc: Dict[int, int] = {}
+        for var, coeff in terms:
+            lc[var] = lc.get(var, 0) + coeff
+        return lc
+
+    def mul(self, a: int, b: int) -> int:
+        """out = a * b (one constraint)."""
+        out = self.witness(self._values[a] * self._values[b])
+        self.r1cs.add_constraint({a: 1}, {b: 1}, {out: 1})
+        return out
+
+    def mul_lc(self, a_lc: Dict[int, int], b_lc: Dict[int, int]) -> int:
+        """out = (a_lc . z) * (b_lc . z) for arbitrary linear combos."""
+        av = self.r1cs.eval_lc(a_lc, self._values)
+        bv = self.r1cs.eval_lc(b_lc, self._values)
+        out = self.witness(av * bv)
+        self.r1cs.add_constraint(dict(a_lc), dict(b_lc), {out: 1})
+        return out
+
+    def add(self, a: int, b: int) -> int:
+        """out = a + b. Materialised through a mul-by-1 constraint so the
+        result is addressable as a single variable (real front-ends fold
+        most additions into linear combinations; use lc() for that)."""
+        out = self.witness(self._values[a] + self._values[b])
+        self.r1cs.add_constraint(self._lc((a, 1), (b, 1)), {self.one: 1},
+                                 {out: 1})
+        return out
+
+    def linear(self, lc: Dict[int, int]) -> int:
+        """Materialise a linear combination as a variable."""
+        out = self.witness(self.r1cs.eval_lc(lc, self._values))
+        self.r1cs.add_constraint(dict(lc), {self.one: 1}, {out: 1})
+        return out
+
+    def assert_equal(self, a: int, b: int) -> None:
+        self.r1cs.add_constraint({a: 1}, {self.one: 1}, {b: 1})
+
+    def assert_boolean(self, a: int) -> None:
+        """a * (a - 1) = 0 — the bound-check workhorse."""
+        self.r1cs.add_constraint({a: 1}, {a: 1, self.one: -1}, {self.one: 0})
+
+    def boolean_witness(self, bit: int) -> int:
+        if bit not in (0, 1):
+            raise CircuitError(f"boolean witness must be 0 or 1, got {bit}")
+        var = self.witness(bit)
+        self.assert_boolean(var)
+        return var
+
+    # -- gadgets -----------------------------------------------------------------------
+
+    def decompose_bits(self, var: int, n_bits: int) -> List[int]:
+        """Range check: var < 2^n_bits via bit decomposition. Allocates
+        n_bits boolean witnesses (all 0/1 — the sparsity source) and one
+        recomposition constraint."""
+        value = self._values[var]
+        if value >= (1 << n_bits):
+            raise CircuitError(
+                f"value {value} does not fit in {n_bits} bits"
+            )
+        bits = [self.boolean_witness((value >> i) & 1) for i in range(n_bits)]
+        lc = {b: (1 << i) for i, b in enumerate(bits)}
+        self.r1cs.add_constraint(lc, {self.one: 1}, {var: 1})
+        return bits
+
+    def select(self, flag: int, if_true: int, if_false: int) -> int:
+        """out = flag ? if_true : if_false (flag must be boolean):
+        out = if_false + flag * (if_true - if_false)."""
+        fv = self._values[flag]
+        out_val = self._values[if_true] if fv else self._values[if_false]
+        out = self.witness(out_val)
+        self.r1cs.add_constraint(
+            {flag: 1},
+            self._lc((if_true, 1), (if_false, -1)),
+            self._lc((out, 1), (if_false, -1)),
+        )
+        return out
+
+    def xor(self, a: int, b: int) -> int:
+        """out = a XOR b over booleans: out = a + b - 2ab."""
+        out = self.witness(self._values[a] ^ self._values[b])
+        # a * 2b = a + b - out
+        self.r1cs.add_constraint(
+            {a: 2}, {b: 1}, self._lc((a, 1), (b, 1), (out, -1))
+        )
+        return out
+
+    def and_gate(self, a: int, b: int) -> int:
+        return self.mul(a, b)
+
+    def square(self, a: int) -> int:
+        return self.mul(a, a)
+
+    def pow_const(self, a: int, e: int) -> int:
+        """a^e via square-and-multiply gates."""
+        if e < 1:
+            raise CircuitError("exponent must be >= 1")
+        result = a
+        for bit in bin(e)[3:]:
+            result = self.square(result)
+            if bit == "1":
+                result = self.mul(result, a)
+        return result
+
+    # -- output -----------------------------------------------------------------------------
+
+    @property
+    def assignment(self) -> List[int]:
+        return list(self._values)
+
+    def build(self) -> R1CS:
+        """Finalize; the R1CS and assignment are consistency-checked."""
+        if self._public_cursor <= self.r1cs.n_public:
+            raise CircuitError(
+                f"{self.r1cs.n_public - self._public_cursor + 1} public "
+                "inputs were never bound"
+            )
+        if not self.r1cs.is_satisfied(self._values):
+            raise CircuitError("internal error: built assignment unsatisfied")
+        return self.r1cs
+
+    # -- workload statistics -------------------------------------------------------------------
+
+    def scalar_vector_stats(self) -> Dict[str, float]:
+        """Sparsity profile of the assignment — the u vector the MSM
+        stage consumes (Tables 2/3 depend on it)."""
+        n = len(self._values)
+        zeros = sum(1 for v in self._values if v == 0)
+        ones = sum(1 for v in self._values if v == 1)
+        return {
+            "n": n,
+            "zero_fraction": zeros / n,
+            "one_fraction": ones / n,
+        }

@@ -1,0 +1,36 @@
+"""Elliptic-curve substrate: group law (affine/Jacobian), scalar
+multiplication, curve parameters for ALT-BN128 / BLS12-381 / MNT4753,
+and optimal-ate pairings for Groth16 verification."""
+
+from repro.curves.weierstrass import CurveGroup
+from repro.curves.params import (
+    CURVES,
+    CurvePair,
+    bls12_381_g1,
+    bls12_381_g2,
+    bn128_g1,
+    bn128_g2,
+    mnt4753_g1,
+    mnt4753_g2,
+    mnt4753_g2_ready,
+)
+from repro.curves.pairing import PairingEngine, bls12_381_pairing, bn128_pairing
+from repro.curves.tate import MntTatePairing, mnt4753_pairing
+
+__all__ = [
+    "CurveGroup",
+    "CurvePair",
+    "CURVES",
+    "bn128_g1",
+    "bn128_g2",
+    "bls12_381_g1",
+    "bls12_381_g2",
+    "mnt4753_g1",
+    "mnt4753_g2",
+    "mnt4753_g2_ready",
+    "PairingEngine",
+    "bn128_pairing",
+    "bls12_381_pairing",
+    "MntTatePairing",
+    "mnt4753_pairing",
+]

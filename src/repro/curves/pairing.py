@@ -1,0 +1,218 @@
+"""Optimal-ate pairings for ALT-BN128 and BLS12-381.
+
+Groth16 verification is a product-of-pairings check; this module makes it
+real for the two curves with standard parameters. The construction is the
+classic full-Fq12 Miller loop (the same algorithm py_ecc uses): G2 points
+over Fq2 are *twisted* into E(Fq12), line functions are evaluated at the
+(embedded) G1 argument, and the Miller accumulator is raised to
+(q^12 - 1)/r in the final exponentiation.
+
+This is a verifier-side component — never on the prover's hot path — so
+clarity is preferred over speed throughout.
+
+The MNT4753 surrogate curve is supersingular (embedding degree 2) and has
+no Fq12 tower; the SNARK layer verifies MNT proofs with a trapdoor
+equation check instead (see DESIGN.md §2 and repro.snark.verifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CurveError
+from repro.ff.extension import ExtElement, ExtensionField
+from repro.ff.params import ALT_BN128_Q, ALT_BN128_R, BLS12_381_Q, BLS12_381_R
+
+__all__ = ["PairingEngine", "bn128_pairing", "bls12_381_pairing"]
+
+Point = Optional[Tuple[ExtElement, ExtElement]]
+
+
+@dataclass(frozen=True)
+class _PairingParams:
+    name: str
+    field_modulus: int
+    curve_order: int
+    fq12_modulus_coeffs: Tuple[int, ...]
+    # i in Fq2 embeds into Fq12 as (w^6 - twist_shift).
+    twist_shift: int
+    ate_loop_count: int
+    log_ate_loop_count: int
+    # BN curves need two extra Frobenius line steps; BLS curves do not.
+    bn_final_steps: bool
+    # D-twist (BN: b2 = b/xi) untwists by *multiplying* with w^2/w^3;
+    # M-twist (BLS: b2 = b*xi) untwists by *dividing*.
+    m_twist: bool
+
+
+_BN128 = _PairingParams(
+    name="ALT-BN128",
+    field_modulus=ALT_BN128_Q.modulus,
+    curve_order=ALT_BN128_R.modulus,
+    fq12_modulus_coeffs=(82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0),
+    twist_shift=9,
+    ate_loop_count=29793968203157093288,
+    log_ate_loop_count=63,
+    bn_final_steps=True,
+    m_twist=False,
+)
+
+_BLS12_381 = _PairingParams(
+    name="BLS12-381",
+    field_modulus=BLS12_381_Q.modulus,
+    curve_order=BLS12_381_R.modulus,
+    fq12_modulus_coeffs=(2, 0, 0, 0, 0, 0, -2, 0, 0, 0, 0, 0),
+    twist_shift=1,
+    ate_loop_count=15132376222941642752,
+    log_ate_loop_count=62,
+    bn_final_steps=False,
+    m_twist=True,
+)
+
+
+class PairingEngine:
+    """Miller loop + final exponentiation for one curve family."""
+
+    def __init__(self, params: _PairingParams):
+        self.params = params
+        self.fq12 = ExtensionField(
+            # Reuse the right base field by modulus.
+            ALT_BN128_Q if params.field_modulus == ALT_BN128_Q.modulus else BLS12_381_Q,
+            list(params.fq12_modulus_coeffs),
+            name=f"{params.name}.Fq12",
+        )
+        self._w = self.fq12.element([0, 1] + [0] * 10)
+        self._w2 = self._w * self._w
+        self._w3 = self._w2 * self._w
+        self._final_exp = (params.field_modulus ** 12 - 1) // params.curve_order
+
+    # -- embeddings ---------------------------------------------------------------
+
+    def cast_g1(self, p) -> Point:
+        """Embed a G1 point (int coordinates) into E(Fq12)."""
+        if p is None:
+            return None
+        x, y = p
+        return (self.fq12.from_base(x), self.fq12.from_base(y))
+
+    def twist_g2(self, p) -> Point:
+        """Map a G2 point over Fq2 onto the curve over Fq12.
+
+        With i = w^6 - s (s = twist_shift), a + b i = (a - s b) + b w^6;
+        the D-type untwist multiplies x by w^2 and y by w^3.
+        """
+        if p is None:
+            return None
+        x, y = p
+        s = self.params.twist_shift
+        q = self.params.field_modulus
+        xc = ((x.coeffs[0] - s * x.coeffs[1]) % q, x.coeffs[1])
+        yc = ((y.coeffs[0] - s * y.coeffs[1]) % q, y.coeffs[1])
+        nx = self.fq12.element([xc[0], 0, 0, 0, 0, 0, xc[1], 0, 0, 0, 0, 0])
+        ny = self.fq12.element([yc[0], 0, 0, 0, 0, 0, yc[1], 0, 0, 0, 0, 0])
+        if self.params.m_twist:
+            return (nx / self._w2, ny / self._w3)
+        return (nx * self._w2, ny * self._w3)
+
+    # -- curve ops over Fq12 (a = 0 for both families) -------------------------------
+
+    def _double(self, p: Point) -> Point:
+        x, y = p
+        lam = x * x * 3 / (y * 2)
+        nx = lam * lam - x * 2
+        return (nx, lam * (x - nx) - y)
+
+    def _add(self, p: Point, q: Point) -> Point:
+        if p is None:
+            return q
+        if q is None:
+            return p
+        x1, y1 = p
+        x2, y2 = q
+        if x1 == x2 and y1 == y2:
+            return self._double(p)
+        if x1 == x2:
+            return None
+        lam = (y2 - y1) / (x2 - x1)
+        nx = lam * lam - x1 - x2
+        return (nx, lam * (x1 - nx) - y1)
+
+    def _linefunc(self, p1: Point, p2: Point, t: Point) -> ExtElement:
+        """Evaluate the line through p1, p2 at t (standard three cases)."""
+        if p1 is None or p2 is None or t is None:
+            raise CurveError("linefunc does not accept the point at infinity")
+        x1, y1 = p1
+        x2, y2 = p2
+        xt, yt = t
+        if x1 != x2:
+            m = (y2 - y1) / (x2 - x1)
+            return m * (xt - x1) - (yt - y1)
+        if y1 == y2:
+            m = x1 * x1 * 3 / (y1 * 2)
+            return m * (xt - x1) - (yt - y1)
+        return xt - x1
+
+    # -- pairing -------------------------------------------------------------------
+
+    def miller_loop(self, q_pt: Point, p_pt: Point) -> ExtElement:
+        if q_pt is None or p_pt is None:
+            return self.fq12.one
+        prm = self.params
+        r_pt = q_pt
+        f = self.fq12.one
+        for i in range(prm.log_ate_loop_count, -1, -1):
+            f = f * f * self._linefunc(r_pt, r_pt, p_pt)
+            r_pt = self._double(r_pt)
+            if prm.ate_loop_count & (1 << i):
+                f = f * self._linefunc(r_pt, q_pt, p_pt)
+                r_pt = self._add(r_pt, q_pt)
+        if prm.bn_final_steps:
+            fq = prm.field_modulus
+            q1 = (q_pt[0] ** fq, q_pt[1] ** fq)
+            nq2 = (q1[0] ** fq, -(q1[1] ** fq))
+            f = f * self._linefunc(r_pt, q1, p_pt)
+            r_pt = self._add(r_pt, q1)
+            f = f * self._linefunc(r_pt, nq2, p_pt)
+        return f
+
+    def final_exponentiate(self, f: ExtElement) -> ExtElement:
+        return f ** self._final_exp
+
+    def pairing(self, g1_point, g2_point) -> ExtElement:
+        """e(P, Q) with P in G1 (int coords) and Q in G2 (Fq2 coords)."""
+        if g1_point is None or g2_point is None:
+            return self.fq12.one
+        f = self.miller_loop(self.twist_g2(g2_point), self.cast_g1(g1_point))
+        return self.final_exponentiate(f)
+
+    def pairing_product_is_one(self, pairs) -> bool:
+        """Check prod e(P_i, Q_i) == 1 with one shared final
+        exponentiation (how real verifiers batch the Groth16 check)."""
+        acc = self.fq12.one
+        for g1_point, g2_point in pairs:
+            if g1_point is None or g2_point is None:
+                continue
+            acc = acc * self.miller_loop(
+                self.twist_g2(g2_point), self.cast_g1(g1_point)
+            )
+        return self.final_exponentiate(acc) == self.fq12.one
+
+
+_ENGINES = {}
+
+
+def _engine(params: _PairingParams) -> PairingEngine:
+    if params.name not in _ENGINES:
+        _ENGINES[params.name] = PairingEngine(params)
+    return _ENGINES[params.name]
+
+
+def bn128_pairing() -> PairingEngine:
+    """The ALT-BN128 pairing engine (cached)."""
+    return _engine(_BN128)
+
+
+def bls12_381_pairing() -> PairingEngine:
+    """The BLS12-381 pairing engine (cached)."""
+    return _engine(_BLS12_381)

@@ -1,0 +1,142 @@
+"""Reduced Tate pairing for the MNT4753-surrogate curve.
+
+The surrogate (repro.ff.params) is supersingular — y^2 = x^3 + x over
+F_q with q = 3 (mod 4) — hence has embedding degree 2: all r-torsion
+pairs into mu_r inside Fq2. G1 lives in E(F_q) and our G2 in the twist
+component of E(Fq2), which are independent order-r subgroups, so the
+reduced Tate pairing
+
+    e(P, Q) = f_{r,P}(Q) ^ ((q^2 - 1) / r)
+
+is non-degenerate on G1 x G2 (validated by tests). This gives the
+753-bit curve a *real* pairing-based Groth16 verification path — no
+trapdoor shortcuts — completing the substitution story of DESIGN.md.
+
+The Miller loop is the textbook affine version (r has ~750 bits, so
+~1100 line evaluations; inversion via extended Euclid keeps this fast
+enough for a verifier that the paper budgets "a few milliseconds" on
+native code).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.curves.params import MNT_FQ2, mnt4753_g2_ready
+from repro.errors import CurveError
+from repro.ff.extension import ExtElement
+from repro.ff.params import MNT4753_Q, MNT4753_R
+
+__all__ = ["MntTatePairing", "mnt4753_pairing"]
+
+Fq2Point = Optional[Tuple[ExtElement, ExtElement]]
+
+
+class MntTatePairing:
+    """Reduced Tate pairing on the supersingular 753-bit surrogate."""
+
+    def __init__(self):
+        self.field = MNT_FQ2
+        self.q = MNT4753_Q.modulus
+        self.r = MNT4753_R.modulus
+        self.group = mnt4753_g2_ready()  # curve over Fq2 (a = 1)
+        self._a = self.group.a
+        self._final_exp = (self.q * self.q - 1) // self.r
+
+    # -- embeddings ----------------------------------------------------------
+
+    def embed_g1(self, p) -> Fq2Point:
+        """Lift a G1 point (int coordinates) into E(Fq2)."""
+        if p is None:
+            return None
+        return (self.field.element([p[0], 0]), self.field.element([p[1], 0]))
+
+    # -- Miller machinery ------------------------------------------------------
+
+    def _line(self, p1: Fq2Point, p2: Fq2Point, t: Fq2Point) -> ExtElement:
+        """Evaluate at t the line through p1 and p2 (or the tangent when
+        p1 == p2), divided by nothing — vertical-line corrections are
+        folded in by the caller."""
+        x1, y1 = p1
+        x2, y2 = p2
+        xt, yt = t
+        if x1 != x2:
+            lam = (y2 - y1) / (x2 - x1)
+        elif y1 == y2 and y1:
+            lam = (x1 * x1 * 3 + self._a) / (y1 * 2)
+        else:
+            # Vertical line.
+            return xt - x1
+        return (yt - y1) - lam * (xt - x1)
+
+    def _add(self, p: Fq2Point, q: Fq2Point) -> Fq2Point:
+        if p is None:
+            return q
+        if q is None:
+            return p
+        x1, y1 = p
+        x2, y2 = q
+        if x1 == x2:
+            if y1 + y2 == self.field.zero:
+                return None
+            lam = (x1 * x1 * 3 + self._a) / (y1 * 2)
+        else:
+            lam = (y2 - y1) / (x2 - x1)
+        x3 = lam * lam - x1 - x2
+        return (x3, lam * (x1 - x3) - y1)
+
+    def miller_loop(self, p: Fq2Point, q: Fq2Point) -> ExtElement:
+        """f_{r,P}(Q) by the standard double-and-add Miller loop, with
+        numerator/denominator accumulated separately (one inversion at
+        the end)."""
+        if p is None or q is None:
+            return self.field.one
+        if p == q:
+            raise CurveError("Tate Miller loop needs distinct P, Q")
+        f_num = self.field.one
+        f_den = self.field.one
+        r_pt = p
+        for bit in bin(self.r)[3:]:  # skip leading 1
+            # Doubling step: f <- f^2 * l_{R,R}(Q) / v_{2R}(Q).
+            line = self._line(r_pt, r_pt, q)
+            r_pt = self._add(r_pt, r_pt)
+            f_num = f_num * f_num * line
+            f_den = f_den * f_den
+            if r_pt is not None:
+                f_den = f_den * (q[0] - r_pt[0])
+            if bit == "1":
+                line = self._line(r_pt, p, q)
+                r_pt = self._add(r_pt, p)
+                f_num = f_num * line
+                if r_pt is not None:
+                    f_den = f_den * (q[0] - r_pt[0])
+        return f_num / f_den
+
+    # -- the pairing -----------------------------------------------------------------
+
+    def pairing(self, g1_point, g2_point) -> ExtElement:
+        """e(P, Q): P in G1 (int coords), Q in G2 (Fq2 coords)."""
+        if g1_point is None or g2_point is None:
+            return self.field.one
+        f = self.miller_loop(self.embed_g1(g1_point), g2_point)
+        return f ** self._final_exp
+
+    def pairing_product_is_one(self, pairs) -> bool:
+        """prod e(P_i, Q_i) == 1 with one shared final exponentiation."""
+        acc = self.field.one
+        for g1_point, g2_point in pairs:
+            if g1_point is None or g2_point is None:
+                continue
+            acc = acc * self.miller_loop(self.embed_g1(g1_point), g2_point)
+        return acc ** self._final_exp == self.field.one
+
+
+_ENGINE = None
+
+
+def mnt4753_pairing() -> MntTatePairing:
+    """The cached MNT4753-surrogate Tate pairing engine."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = MntTatePairing()
+    return _ENGINE

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the GZKP reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (bad modulus, non-invertible element...)."""
+
+
+class CurveError(ReproError):
+    """Invalid elliptic-curve operation (point not on curve, bad subgroup...)."""
+
+
+class NttError(ReproError):
+    """Invalid NTT configuration (non power-of-two size, insufficient 2-adicity...)."""
+
+
+class MsmError(ReproError):
+    """Invalid MSM configuration (mismatched vector lengths, bad window size...)."""
+
+
+class CircuitError(ReproError):
+    """Constraint-system construction or satisfaction failure."""
+
+
+class ProofError(ReproError):
+    """Proof generation or verification failure."""
+
+
+class SimulationError(ReproError):
+    """GPU simulation errors, including modeled out-of-memory conditions."""
+
+
+class GpuOutOfMemoryError(SimulationError):
+    """Modeled GPU global-memory exhaustion (e.g. MINA above MSM scale 2^22)."""
+
+    def __init__(self, required_bytes: int, available_bytes: int, detail: str = ""):
+        self.required_bytes = required_bytes
+        self.available_bytes = available_bytes
+        message = (
+            f"modeled GPU OOM: required {required_bytes / 2**30:.2f} GiB, "
+            f"device has {available_bytes / 2**30:.2f} GiB"
+        )
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)

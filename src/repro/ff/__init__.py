@@ -1,0 +1,46 @@
+"""Finite-field substrate: prime fields, GPU-style limb arithmetic
+(64-bit Montgomery and base-2^52 DFP), extension towers, vectors, and
+operation counting."""
+
+from repro.ff.primefield import FieldElement, PrimeField
+from repro.ff.montgomery import MontgomeryContext, from_limbs, to_limbs
+from repro.ff.dfp import DfpMultiplier, two_product, veltkamp_split
+from repro.ff.extension import ExtElement, ExtensionField
+from repro.ff.vectorfield import FieldVector, pad_to_power_of_two
+from repro.ff.opcount import OpCounter
+from repro.ff.poly import Polynomial
+from repro.ff.params import (
+    ALT_BN128_Q,
+    ALT_BN128_R,
+    BASE_FIELDS,
+    BLS12_381_Q,
+    BLS12_381_R,
+    MNT4753_Q,
+    MNT4753_R,
+    SCALAR_FIELDS,
+)
+
+__all__ = [
+    "PrimeField",
+    "FieldElement",
+    "MontgomeryContext",
+    "to_limbs",
+    "from_limbs",
+    "DfpMultiplier",
+    "two_product",
+    "veltkamp_split",
+    "ExtensionField",
+    "ExtElement",
+    "FieldVector",
+    "pad_to_power_of_two",
+    "OpCounter",
+    "Polynomial",
+    "ALT_BN128_R",
+    "ALT_BN128_Q",
+    "BLS12_381_R",
+    "BLS12_381_Q",
+    "MNT4753_R",
+    "MNT4753_Q",
+    "SCALAR_FIELDS",
+    "BASE_FIELDS",
+]

@@ -1,0 +1,72 @@
+"""Field moduli for the curves evaluated in the GZKP paper.
+
+Three (scalar-field, base-field) pairs are defined, matching Table 1:
+
+* **ALT-BN128** (a.k.a. BN254) — 256-bit. Exact standard constants.
+* **BLS12-381** — 381-bit. Exact standard constants.
+* **MNT4753** — 753-bit. The paper uses the real MNT4-753 cycle curve;
+  its exact 753-bit constants are not reproducible from the paper text, so
+  this reproduction substitutes a deterministic 753-bit *surrogate*: a
+  supersingular curve y^2 = x^3 + x over F_q with q = 8r - 1 prime,
+  q = 3 (mod 4), and r a 750-bit prime with 2-adicity 30. The group order
+  is exactly 8r, giving a prime-order subgroup suitable for real Groth16
+  runs, and the 753-bit limb counts (12 x 64-bit words, 15 x 52-bit DFP
+  limbs) match the paper's cost-relevant geometry. See DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from repro.ff.primefield import PrimeField
+
+__all__ = [
+    "ALT_BN128_R",
+    "ALT_BN128_Q",
+    "BLS12_381_R",
+    "BLS12_381_Q",
+    "MNT4753_R",
+    "MNT4753_Q",
+    "SCALAR_FIELDS",
+    "BASE_FIELDS",
+]
+
+# --- ALT-BN128 (BN254) ------------------------------------------------------
+
+_BN128_R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+_BN128_Q = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+
+ALT_BN128_R = PrimeField(_BN128_R, name="ALT-BN128.Fr")
+ALT_BN128_Q = PrimeField(_BN128_Q, name="ALT-BN128.Fq")
+
+# --- BLS12-381 ---------------------------------------------------------------
+
+_BLS_R = 0x73EDA753299D7D483339D80809A1D80553BDA402FFFE5BFEFFFFFFFF00000001
+_BLS_Q = int(
+    "0x1A0111EA397FE69A4B1BA7B6434BACD764774B84F38512BF6730D2A0F6B0F624"
+    "1EABFFFEB153FFFFB9FEFFFFFFFFAAAB",
+    16,
+)
+
+BLS12_381_R = PrimeField(_BLS_R, name="BLS12-381.Fr")
+BLS12_381_Q = PrimeField(_BLS_Q, name="BLS12-381.Fq")
+
+# --- MNT4753 surrogate -------------------------------------------------------
+
+_MNT_R = 0x2000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000057A300000001
+_MNT_Q = 8 * _MNT_R - 1
+
+MNT4753_R = PrimeField(_MNT_R, name="MNT4753.Fr")
+MNT4753_Q = PrimeField(_MNT_Q, name="MNT4753.Fq")
+
+# --- registries ---------------------------------------------------------------
+
+SCALAR_FIELDS = {
+    "ALT-BN128": ALT_BN128_R,
+    "BLS12-381": BLS12_381_R,
+    "MNT4753": MNT4753_R,
+}
+
+BASE_FIELDS = {
+    "ALT-BN128": ALT_BN128_Q,
+    "BLS12-381": BLS12_381_Q,
+    "MNT4753": MNT4753_Q,
+}

@@ -1,0 +1,24 @@
+"""GPU/CPU execution model: devices, traces, and calibrated costs.
+
+This package is the substitution for running CUDA on a V100 (DESIGN.md
+paragraph 2): algorithms emit counted work (Trace), device models price it.
+"""
+
+from repro.gpusim.trace import DFP_BACKEND, INT_BACKEND, Trace
+from repro.gpusim.device import GTX1080TI, V100, XEON_5117, CpuDevice, GpuDevice
+from repro.gpusim.executor import Kernel, KernelTimeline
+from repro.gpusim import cost
+
+__all__ = [
+    "Trace",
+    "INT_BACKEND",
+    "DFP_BACKEND",
+    "GpuDevice",
+    "CpuDevice",
+    "V100",
+    "GTX1080TI",
+    "XEON_5117",
+    "Kernel",
+    "KernelTimeline",
+    "cost",
+]

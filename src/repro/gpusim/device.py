@@ -1,0 +1,211 @@
+"""Device models: the two GPUs and the CPU server of the evaluation.
+
+The paper's testbed (§5.1): dual Xeon Gold 5117 (2 x 14 cores, 56 logical),
+256 GB DRAM; four NVIDIA V100 (32 GB) and one GTX 1080 Ti (11 GB),
+CUDA 11.4.
+
+Pricing model
+-------------
+A GPU kernel's time is ``max(compute, memory) + scheduling overhead``:
+
+* *compute* — modular multiplications dominate; each (bit-width, backend)
+  has a device throughput derived from a single calibrated constant and
+  the limb count (sub-quadratic exponent, see ``cost.py``). Adds are
+  priced linearly in limbs. Warp under-utilisation and load imbalance
+  divide the throughput.
+* *memory* — transferred bytes (inflated by poor coalescing) over the
+  device bandwidth; shared-memory traffic is priced only through its
+  bank-conflict factor applied to compute.
+* *overhead* — per-launch and per-block costs (this is what makes
+  bellperson's 2^16-blocks-of-2-threads batches slow, Figure 8).
+
+CPU work is priced from the paper's own §1 figures: 230 ns per 381-bit
+modular multiplication and 43 ns per large-integer addition, scaled by
+limb count, divided across cores with a parallel-efficiency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.trace import DFP_BACKEND, INT_BACKEND, Trace
+from repro.gpusim import cost
+
+__all__ = ["GpuDevice", "CpuDevice", "V100", "GTX1080TI", "XEON_5117"]
+
+
+def _limbs64(bits: int) -> int:
+    return (bits + 63) // 64
+
+
+def _limbs52(bits: int) -> int:
+    return (bits + 51) // 52
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """An NVIDIA GPU model."""
+
+    name: str
+    sm_count: int
+    shared_mem_per_sm: int           # bytes (48 KiB on V100, §3)
+    global_mem_bytes: int
+    mem_bandwidth: float             # bytes/s
+    l2_line_bytes: int               # 32 B on V100 (§3)
+    warp_size: int
+    max_threads_per_block: int
+    #: calibrated limb-product throughput of the integer pipeline
+    int_limb_rate: float             # 64-bit MAC-equivalents / s
+    #: calibrated limb-product throughput with the DFP library
+    #: (float + integer pipes together, §4.3)
+    dfp_limb_rate: float
+    kernel_launch_overhead: float    # s per launch
+    block_sched_overhead: float      # s per block (queuing/dispatch)
+    host_bandwidth: float            # PCIe bytes/s
+
+    # -- throughput ----------------------------------------------------------------
+
+    def modmul_rate(self, bits: int, backend: str) -> float:
+        """Modular multiplications per second for the whole device."""
+        if backend == DFP_BACKEND:
+            limbs = _limbs52(bits)
+            return self.dfp_limb_rate / (limbs ** cost.LIMB_SCALING_EXPONENT)
+        if backend == INT_BACKEND:
+            limbs = _limbs64(bits)
+            # CIOS: 2n^2 + n word MACs per multiplication.
+            return self.int_limb_rate / ((2 * limbs * limbs + limbs)
+                                         ** (cost.LIMB_SCALING_EXPONENT / 2.0))
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def modadd_rate(self, bits: int) -> float:
+        """Modular additions per second (linear in limbs)."""
+        limbs = _limbs64(bits)
+        return cost.GPU_ADD_RATE_SCALE * self.int_limb_rate / limbs
+
+    # -- pricing --------------------------------------------------------------------
+
+    def compute_time(self, trace: Trace) -> float:
+        seconds = 0.0
+        for (bits, backend), count in trace.gpu_muls.items():
+            seconds += count / self.modmul_rate(bits, backend)
+        for bits, count in trace.gpu_adds.items():
+            seconds += count / self.modadd_rate(bits)
+        seconds *= trace.bank_conflict_factor
+        denom = trace.warp_utilization * trace.parallel_efficiency
+        if denom <= 0:
+            raise ValueError("utilization factors must be positive")
+        return seconds / denom
+
+    def memory_time(self, trace: Trace) -> float:
+        return trace.global_bytes_transferred / self.mem_bandwidth
+
+    def overhead_time(self, trace: Trace) -> float:
+        return (
+            trace.kernel_launches * self.kernel_launch_overhead
+            + trace.blocks_launched * self.block_sched_overhead
+            + trace.host_transfer_bytes / self.host_bandwidth
+        )
+
+    def time_of(self, trace: Trace) -> float:
+        """Price a trace in seconds (compute/memory overlap; CPU-side
+        serial work, if any, is added by the caller's CPU device)."""
+        return max(self.compute_time(trace), self.memory_time(trace)) + (
+            self.overhead_time(trace)
+        )
+
+    def fits(self, trace: Trace) -> bool:
+        """Whether the modeled footprint fits in global memory."""
+        return trace.gpu_memory_bytes <= self.global_mem_bytes
+
+
+@dataclass(frozen=True)
+class CpuDevice:
+    """The evaluation CPU server."""
+
+    name: str
+    physical_cores: int
+    threads: int
+    #: calibrated ns per 381-bit modular multiplication on one core (§1)
+    modmul_381_ns: float
+    #: calibrated ns per 381-bit-class large-integer addition (§1)
+    add_381_ns: float
+    #: multi-thread scaling efficiency (synchronisation, NUMA)
+    parallel_efficiency: float
+    #: fixed per-operation-dispatch overhead, seconds (thread pool spin-up
+    #: and work distribution; dominates small workloads, Table 5's 2^14)
+    dispatch_overhead: float
+
+    def modmul_ns(self, bits: int) -> float:
+        """Quadratic limb scaling anchored at the paper's 381-bit figure."""
+        ref = _limbs64(381)
+        limbs = _limbs64(bits)
+        return self.modmul_381_ns * (limbs / ref) ** 2
+
+    def add_ns(self, bits: int) -> float:
+        ref = _limbs64(381)
+        limbs = _limbs64(bits)
+        return self.add_381_ns * (limbs / ref)
+
+    def time_of(self, trace: Trace, parallel: bool = True) -> float:
+        """Price CPU-side work. ``parallel=False`` prices it serially
+        (e.g. bellperson's single-threaded window reduction)."""
+        nanos = 0.0
+        for bits, count in trace.cpu_muls.items():
+            nanos += count * self.modmul_ns(bits)
+        for bits, count in trace.cpu_adds.items():
+            nanos += count * self.add_ns(bits)
+        seconds = nanos * 1e-9
+        if parallel:
+            seconds /= self.threads * self.parallel_efficiency
+            if seconds > 0:
+                # Thread-pool spin-up applies to parallel dispatch only.
+                seconds += self.dispatch_overhead
+        return seconds
+
+
+# -- the paper's testbed ------------------------------------------------------------
+
+V100 = GpuDevice(
+    name="Tesla V100",
+    sm_count=80,
+    shared_mem_per_sm=48 * 1024,
+    global_mem_bytes=32 * 2**30,
+    mem_bandwidth=900e9,
+    l2_line_bytes=32,
+    warp_size=32,
+    max_threads_per_block=1024,
+    int_limb_rate=cost.V100_INT_LIMB_RATE,
+    dfp_limb_rate=cost.V100_DFP_LIMB_RATE,
+    kernel_launch_overhead=5e-6,
+    block_sched_overhead=cost.BLOCK_SCHED_OVERHEAD,
+    host_bandwidth=12e9,
+)
+
+GTX1080TI = GpuDevice(
+    name="GTX 1080 Ti",
+    sm_count=28,
+    shared_mem_per_sm=48 * 1024,
+    global_mem_bytes=11 * 2**30,
+    mem_bandwidth=484e9,
+    l2_line_bytes=32,
+    warp_size=32,
+    max_threads_per_block=1024,
+    # Pascal: no fast fp64 (1/32 rate), weaker integer throughput. The DFP
+    # path still helps via the fp32-adapted variant but far less than on
+    # Volta; calibrated against Tables 6 and 8.
+    int_limb_rate=cost.GTX1080TI_INT_LIMB_RATE,
+    dfp_limb_rate=cost.GTX1080TI_DFP_LIMB_RATE,
+    kernel_launch_overhead=8e-6,
+    block_sched_overhead=cost.BLOCK_SCHED_OVERHEAD * 2.5,
+    host_bandwidth=12e9,
+)
+
+XEON_5117 = CpuDevice(
+    name="2x Xeon Gold 5117",
+    physical_cores=28,
+    threads=56,
+    modmul_381_ns=230.0,  # paper §1
+    add_381_ns=43.0,      # paper §1
+    parallel_efficiency=cost.CPU_PARALLEL_EFFICIENCY,
+    dispatch_overhead=cost.CPU_DISPATCH_OVERHEAD,
+)

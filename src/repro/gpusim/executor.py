@@ -1,0 +1,78 @@
+"""Kernel timelines: per-phase breakdowns of a modeled GPU computation.
+
+A :class:`KernelTimeline` is an ordered list of named kernels, each with
+its own :class:`~repro.gpusim.trace.Trace`. Kernels execute back to back
+(the GPU serialises dependent launches on one stream); compute/memory
+overlap happens only *within* a kernel. This is the structure behind the
+breakdown figures: the NTT's shuffle-vs-butterfly split and the MSM's
+merging-vs-folding-vs-reduction split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.trace import Trace
+
+__all__ = ["Kernel", "KernelTimeline"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One named launch (or a homogeneous group of launches)."""
+
+    name: str
+    phase: str
+    trace: Trace
+
+
+@dataclass
+class KernelTimeline:
+    """An ordered sequence of kernels on one device."""
+
+    device: GpuDevice
+    kernels: List[Kernel] = field(default_factory=list)
+
+    def add(self, name: str, phase: str, trace: Trace) -> None:
+        self.kernels.append(Kernel(name=name, phase=phase, trace=trace))
+
+    def kernel_seconds(self, kernel: Kernel) -> float:
+        return self.device.time_of(kernel.trace)
+
+    def total_seconds(self) -> float:
+        return sum(self.kernel_seconds(k) for k in self.kernels)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Time per phase, in first-appearance order."""
+        out: Dict[str, float] = {}
+        for k in self.kernels:
+            out[k.phase] = out.get(k.phase, 0.0) + self.kernel_seconds(k)
+        return out
+
+    def phase_fractions(self) -> Dict[str, float]:
+        total = self.total_seconds()
+        if total == 0:
+            return {}
+        return {p: s / total for p, s in self.phase_seconds().items()}
+
+    def peak_memory_bytes(self) -> float:
+        return max((k.trace.gpu_memory_bytes for k in self.kernels),
+                   default=0.0)
+
+    def render(self, title: str) -> str:
+        """Human-readable breakdown table."""
+        total = self.total_seconds()
+        lines = [title, f"{'phase':>22} {'kernel':>28} {'ms':>10} {'share':>7}"]
+        lines.append("-" * 72)
+        for k in self.kernels:
+            seconds = self.kernel_seconds(k)
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"{k.phase:>22} {k.name:>28} {seconds * 1e3:>10.3f} "
+                f"{share:>6.1%}"
+            )
+        lines.append("-" * 72)
+        lines.append(f"{'total':>22} {'':>28} {total * 1e3:>10.3f}")
+        return "\n".join(lines)

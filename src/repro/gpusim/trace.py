@@ -1,0 +1,150 @@
+"""Execution traces: the counted work an algorithm performs.
+
+Every NTT/MSM implementation in this library — GZKP's and each
+baseline's — emits a :class:`Trace` describing exactly what it asks the
+hardware to do: modular multiplications by bit-width and backend, memory
+bytes moved (with the *effective* coalescing of each transfer), kernel
+launches, idle-thread waste, and CPU-side serial work. A device model
+(:mod:`repro.gpusim.device`) prices a trace in seconds.
+
+This is the substitution for running CUDA (DESIGN.md §2): the paper's
+results are functions of these counts, so reproducing the counts
+reproduces the shapes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["Trace", "INT_BACKEND", "DFP_BACKEND"]
+
+INT_BACKEND = "int"   # word-level Montgomery on integer units
+DFP_BACKEND = "dfp"   # base-2^52 limbs on float units (GZKP's library)
+
+# Key for multiplication counters: (field bit-width, backend).
+MulKey = Tuple[int, str]
+
+
+@dataclass
+class Trace:
+    """Counted work of one (possibly multi-kernel) GPU computation."""
+
+    # -- GPU arithmetic --------------------------------------------------------
+    #: modular multiplications, keyed by (bit-width, backend)
+    gpu_muls: Dict[MulKey, float] = field(default_factory=lambda: defaultdict(float))
+    #: modular additions/subtractions, keyed by bit-width
+    gpu_adds: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
+
+    # -- GPU memory ------------------------------------------------------------
+    #: bytes the algorithm actually needs from/to global memory
+    global_bytes: float = 0.0
+    #: bytes the hardware moves once L2-line under-utilisation is applied
+    #: (>= global_bytes; equal when all accesses are perfectly coalesced)
+    global_bytes_transferred: float = 0.0
+    #: bytes staged through shared memory (priced only via bank conflicts)
+    shared_bytes: float = 0.0
+    #: average extra factor from shared-memory bank conflicts (1.0 = none)
+    bank_conflict_factor: float = 1.0
+
+    # -- GPU scheduling -----------------------------------------------------------
+    kernel_launches: float = 0.0
+    blocks_launched: float = 0.0
+    #: fraction of scheduled thread slots doing useful work (1.0 = all)
+    warp_utilization: float = 1.0
+    #: serial fraction / load imbalance: effective parallel efficiency
+    parallel_efficiency: float = 1.0
+
+    # -- host ------------------------------------------------------------------------
+    host_transfer_bytes: float = 0.0
+    #: CPU-side modular multiplications (e.g. bellperson's CPU
+    #: window-reduction), keyed by bit-width
+    cpu_muls: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    cpu_adds: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
+
+    # -- memory footprint (for OOM modeling, Figure 9) ---------------------------------
+    gpu_memory_bytes: float = 0.0
+
+    # -- builders -----------------------------------------------------------------------
+
+    def add_gpu_muls(self, bits: int, count: float,
+                     backend: str = INT_BACKEND) -> None:
+        self.gpu_muls[(bits, backend)] += count
+
+    def add_gpu_adds(self, bits: int, count: float) -> None:
+        self.gpu_adds[bits] += count
+
+    def add_global_traffic(self, bytes_needed: float,
+                           coalescing: float = 1.0) -> None:
+        """Record a global-memory transfer. ``coalescing`` in (0, 1] is
+        the fraction of each fetched L2 line that is useful; transferred
+        bytes are inflated by its inverse."""
+        if not 0.0 < coalescing <= 1.0:
+            raise ValueError(f"coalescing must be in (0, 1], got {coalescing}")
+        self.global_bytes += bytes_needed
+        self.global_bytes_transferred += bytes_needed / coalescing
+
+    def add_kernel(self, blocks: float, launches: float = 1.0) -> None:
+        self.kernel_launches += launches
+        self.blocks_launched += blocks
+
+    def add_cpu_muls(self, bits: int, count: float) -> None:
+        self.cpu_muls[bits] += count
+
+    def add_cpu_adds(self, bits: int, count: float) -> None:
+        self.cpu_adds[bits] += count
+
+    # -- combination ---------------------------------------------------------------------
+
+    def merge(self, other: "Trace") -> "Trace":
+        """Accumulate another trace into this one (sequential phases).
+        Utilisation factors are combined weighted by multiplication
+        counts, the dominant cost term."""
+        w_self = sum(self.gpu_muls.values())
+        w_other = sum(other.gpu_muls.values())
+        total = w_self + w_other
+        if total > 0:
+            self.warp_utilization = (
+                self.warp_utilization * w_self + other.warp_utilization * w_other
+            ) / total
+            self.parallel_efficiency = (
+                self.parallel_efficiency * w_self
+                + other.parallel_efficiency * w_other
+            ) / total
+            self.bank_conflict_factor = (
+                self.bank_conflict_factor * w_self
+                + other.bank_conflict_factor * w_other
+            ) / total
+        for key, v in other.gpu_muls.items():
+            self.gpu_muls[key] += v
+        for key, v in other.gpu_adds.items():
+            self.gpu_adds[key] += v
+        for key, v in other.cpu_muls.items():
+            self.cpu_muls[key] += v
+        for key, v in other.cpu_adds.items():
+            self.cpu_adds[key] += v
+        self.global_bytes += other.global_bytes
+        self.global_bytes_transferred += other.global_bytes_transferred
+        self.shared_bytes += other.shared_bytes
+        self.kernel_launches += other.kernel_launches
+        self.blocks_launched += other.blocks_launched
+        self.host_transfer_bytes += other.host_transfer_bytes
+        self.gpu_memory_bytes = max(self.gpu_memory_bytes, other.gpu_memory_bytes)
+        return self
+
+    def total_gpu_muls(self) -> float:
+        return sum(self.gpu_muls.values())
+
+    def coalescing_efficiency(self) -> float:
+        """Overall fraction of transferred bytes that were useful."""
+        if self.global_bytes_transferred == 0:
+            return 1.0
+        return self.global_bytes / self.global_bytes_transferred
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(muls={dict(self.gpu_muls)}, "
+            f"mem={self.global_bytes_transferred / 2**20:.1f} MiB, "
+            f"kernels={self.kernel_launches:.0f})"
+        )

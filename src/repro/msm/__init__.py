@@ -1,0 +1,53 @@
+"""The MSM stage substrate: naive oracle, window decomposition,
+bellperson-model sub-MSM Pippenger, MINA-model Straus, the GZKP
+consolidated MSM (Algorithm 1), workload scheduling, CPU baseline, and
+the Figure 9 memory model."""
+
+from repro.msm.windows import DigitStats, bucket_histogram, num_windows, scalar_digits
+from repro.msm.naive import naive_msm
+from repro.msm.pippenger import SubMsmPippenger, bucket_reduce
+from repro.msm.straus import StrausMsm
+from repro.msm.gzkp import GzkpMsm, GzkpMsmConfig
+from repro.msm.cpu import CpuMsm, optimal_cpu_window
+from repro.msm.scheduling import (
+    TaskGroup,
+    WarpAssignment,
+    group_tasks_by_load,
+    map_tasks_to_warps,
+    schedule_quality,
+)
+from repro.msm.memory_model import memory_curve, msm_memory_usage
+from repro.msm.multigpu import MultiGpuMsm
+from repro.msm.prefix import ScanProfile, parallel_bucket_reduce
+from repro.msm.signed import SignedConsolidatedMsm, signed_digits
+from repro.msm.common import affine_point_bytes, coord_bits, fq_mul_factor_of
+
+__all__ = [
+    "DigitStats",
+    "bucket_histogram",
+    "num_windows",
+    "scalar_digits",
+    "naive_msm",
+    "SubMsmPippenger",
+    "bucket_reduce",
+    "StrausMsm",
+    "GzkpMsm",
+    "GzkpMsmConfig",
+    "CpuMsm",
+    "optimal_cpu_window",
+    "TaskGroup",
+    "WarpAssignment",
+    "group_tasks_by_load",
+    "map_tasks_to_warps",
+    "schedule_quality",
+    "memory_curve",
+    "MultiGpuMsm",
+    "parallel_bucket_reduce",
+    "ScanProfile",
+    "SignedConsolidatedMsm",
+    "signed_digits",
+    "msm_memory_usage",
+    "affine_point_bytes",
+    "coord_bits",
+    "fq_mul_factor_of",
+]

@@ -1,0 +1,44 @@
+"""MSM memory-footprint curves (Figure 9).
+
+Reports the modeled GPU-memory usage of each system's MSM at a given
+scale — the quantities behind Figure 9: MINA's steep Straus-table growth
+(OOM above 2^22 on 32 GB at 753 bits), bellperson's modest footprint,
+and GZKP's checkpoint table that plateaus once Algorithm 1 starts
+raising the interval M to respect the preprocessing budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.curves.weierstrass import CurveGroup
+from repro.gpusim.device import GpuDevice
+from repro.msm.gzkp import GzkpMsm
+from repro.msm.pippenger import SubMsmPippenger
+from repro.msm.straus import StrausMsm
+
+__all__ = ["msm_memory_usage"]
+
+
+def msm_memory_usage(system: str, group: CurveGroup, scalar_bits: int,
+                     n: int, device: GpuDevice) -> float:
+    """Modeled MSM memory footprint in bytes for one system at scale n.
+
+    ``system`` is one of "gzkp", "mina", "bellperson".
+    """
+    if system == "gzkp":
+        return GzkpMsm(group, scalar_bits, device).plan(n).gpu_memory_bytes
+    if system == "mina":
+        return StrausMsm(group, scalar_bits, device).plan(n).gpu_memory_bytes
+    if system == "bellperson":
+        return SubMsmPippenger(group, scalar_bits, device).plan(n).gpu_memory_bytes
+    raise ValueError(f"unknown system {system!r}")
+
+
+def memory_curve(system: str, group: CurveGroup, scalar_bits: int,
+                 device: GpuDevice, log_scales=range(14, 27, 2)) -> Dict[int, float]:
+    """Figure 9 series: {log2(scale): bytes}."""
+    return {
+        lg: msm_memory_usage(system, group, scalar_bits, 1 << lg, device)
+        for lg in log_scales
+    }

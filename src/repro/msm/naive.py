@@ -1,0 +1,35 @@
+"""Naive MSM: the functional oracle every fast algorithm is tested
+against. Computes sum(s_i * P_i) by plain scalar multiplication and
+accumulation — O(N * l) point operations, used only at test scales."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import MsmError
+from repro.curves.weierstrass import AffinePoint, CurveGroup
+
+__all__ = ["naive_msm", "check_msm_inputs"]
+
+
+def check_msm_inputs(group: CurveGroup, scalars: Sequence[int],
+                     points: Sequence[AffinePoint]) -> None:
+    """Shared input validation for every MSM implementation."""
+    if len(scalars) != len(points):
+        raise MsmError(
+            f"scalar/point length mismatch: {len(scalars)} vs {len(points)}"
+        )
+    for s in scalars:
+        if s < 0:
+            raise MsmError("scalars must be non-negative (reduce mod r first)")
+
+
+def naive_msm(group: CurveGroup, scalars: Sequence[int],
+              points: Sequence[AffinePoint]) -> Optional[tuple]:
+    """sum of s_i * P_i via double-and-add; None is the identity."""
+    check_msm_inputs(group, scalars, points)
+    acc = None
+    for s, p in zip(scalars, points):
+        term = group.scalar_mul(s, p)
+        acc = group.add(acc, term)
+    return acc

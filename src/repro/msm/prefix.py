@@ -1,0 +1,73 @@
+"""Parallel bucket-reduction via prefix sums (§4.1's final step).
+
+"For the final step in our MSM module, we calculate sum(j * B_j) by
+leveraging the parallel prefix sum algorithm, which converts certain
+sequential computations into equivalent parallel computations."
+
+The identity: sum_{j=1}^{m} j * B_j = sum_{j=1}^{m} S_j where
+S_j = B_j + B_{j+1} + ... + B_m is the suffix sum. Suffix sums are a
+scan, computable in log2(m) parallel rounds of pairwise PADDs; a second
+scan (or a tree sum) adds the S_j together. This module implements the
+round-structured computation exactly (so the result is bit-identical to
+the serial running-sum method) and reports the span (critical-path
+rounds) and work the GPU scheduler sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.curves.weierstrass import CurveGroup
+
+__all__ = ["ScanProfile", "parallel_bucket_reduce"]
+
+
+@dataclass(frozen=True)
+class ScanProfile:
+    """Cost profile of one parallel reduction."""
+
+    n_buckets: int
+    span_rounds: int   # critical-path depth in PADD rounds
+    total_padds: int   # work
+
+
+def parallel_bucket_reduce(group: CurveGroup, buckets: List):
+    """sum of (j+1) * buckets[j] over Jacobian buckets, computed with the
+    scan structure a GPU would use. Returns (result, profile)."""
+    o = group.ops
+    infinity = (o.one, o.one, o.zero)
+    m = len(buckets)
+    if m == 0:
+        return infinity, ScanProfile(0, 0, 0)
+
+    work = 0
+    rounds = 0
+
+    # Round-structured suffix scan (Hillis-Steele, reversed): after
+    # round r, suffix[j] = B_j + ... + B_{min(j + 2^r - 1, m-1)}.
+    suffix = list(buckets)
+    distance = 1
+    while distance < m:
+        nxt = list(suffix)
+        for j in range(m - distance):
+            nxt[j] = group.jadd(suffix[j], suffix[j + distance])
+            work += 1
+        suffix = nxt
+        distance *= 2
+        rounds += 1
+
+    # Tree-sum of the suffix array (also log-depth).
+    values = suffix
+    while len(values) > 1:
+        paired = []
+        for i in range(0, len(values) - 1, 2):
+            paired.append(group.jadd(values[i], values[i + 1]))
+            work += 1
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+        rounds += 1
+
+    return values[0], ScanProfile(n_buckets=m, span_rounds=rounds,
+                                  total_padds=work)

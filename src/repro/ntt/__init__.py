@@ -1,0 +1,39 @@
+"""The POLY stage substrate: reference NTT, batching geometry, GPU
+models (GZKP shuffle-less and bellperson-style baseline), CPU model, and
+the seven-NTT H(x) pipeline."""
+
+from repro.ntt.reference import bit_reverse_permute, intt, naive_dft, ntt
+from repro.ntt.batching import Batch, BatchPlan, block_chunks, group_elements, plan_batches
+from repro.ntt.executor import run_batched_ntt
+from repro.ntt.gpu_gzkp import GzkpNtt, GzkpNttConfig
+from repro.ntt.gpu_baseline import BaselineGpuNtt, BaselineNttVariant
+from repro.ntt.cpu import CpuNtt
+from repro.ntt.poly import NTT_OPS_PER_PROOF, PolyStage
+from repro.ntt.batched import BatchedNtt
+from repro.ntt.twiddle import FULL, RECOMPUTE, UNIQUE, TwiddleTable, strategy_stats
+
+__all__ = [
+    "ntt",
+    "intt",
+    "naive_dft",
+    "bit_reverse_permute",
+    "Batch",
+    "BatchPlan",
+    "group_elements",
+    "block_chunks",
+    "plan_batches",
+    "run_batched_ntt",
+    "GzkpNtt",
+    "GzkpNttConfig",
+    "BaselineGpuNtt",
+    "BaselineNttVariant",
+    "CpuNtt",
+    "PolyStage",
+    "BatchedNtt",
+    "TwiddleTable",
+    "RECOMPUTE",
+    "UNIQUE",
+    "FULL",
+    "strategy_stats",
+    "NTT_OPS_PER_PROOF",
+]

@@ -1,0 +1,118 @@
+"""Batch/group geometry for GPU NTT scheduling (Figure 4 of the paper).
+
+A batch covers B consecutive butterfly iterations starting at global
+iteration s. Within a batch the butterflies decompose into N / 2^B
+*independent groups*; the group containing element base offsets works on
+elements with stride 2^s:
+
+    element(j) = high * 2^(s+B) + j * 2^s + low      for j in [0, 2^B)
+
+where the group id g splits as low = g mod 2^s, high = g >> s. Batch 0
+(s = 0) therefore has contiguous groups; later batches have strided ones
+(the "0 4 8 12" example of Figure 4).
+
+GZKP assigns G groups to one GPU block: their union forms 2^B contiguous
+chunks of G elements each in global memory, which the *internal shuffle*
+transposes into the per-group strided layout in shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import NttError
+
+__all__ = ["Batch", "BatchPlan", "group_elements", "block_chunks", "plan_batches"]
+
+
+def group_elements(log_n: int, shift: int, width: int, group: int) -> List[int]:
+    """Global element indices of one independent group.
+
+    ``shift`` = s (first iteration of the batch), ``width`` = B
+    (iterations in the batch), ``group`` in [0, N / 2^B).
+    """
+    if shift + width > log_n:
+        raise NttError(f"batch [{shift}, {shift + width}) exceeds log N = {log_n}")
+    n_groups = 1 << (log_n - width)
+    if not 0 <= group < n_groups:
+        raise NttError(f"group {group} out of range (n_groups={n_groups})")
+    low = group & ((1 << shift) - 1)
+    high = group >> shift
+    return [(high << (shift + width)) | (j << shift) | low for j in range(1 << width)]
+
+
+def block_chunks(log_n: int, shift: int, width: int,
+                 first_group: int, n_groups: int) -> List[Tuple[int, int]]:
+    """(start, length) runs of the union of ``n_groups`` consecutive
+    groups' elements — what one GZKP block reads from global memory.
+
+    When the groups assigned to a block are consecutive in group id and
+    n_groups <= 2^s, the union forms 2^B contiguous chunks of length G
+    (the coalescing property of §3)."""
+    indices = sorted(
+        idx
+        for g in range(first_group, first_group + n_groups)
+        for idx in group_elements(log_n, shift, width, g)
+    )
+    chunks: List[Tuple[int, int]] = []
+    run_start = indices[0]
+    prev = indices[0]
+    for idx in indices[1:]:
+        if idx == prev + 1:
+            prev = idx
+            continue
+        chunks.append((run_start, prev - run_start + 1))
+        run_start = prev = idx
+    chunks.append((run_start, prev - run_start + 1))
+    return chunks
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One batch of the NTT schedule."""
+
+    shift: int      # first global iteration covered
+    width: int      # number of iterations (B)
+
+    @property
+    def end(self) -> int:
+        return self.shift + self.width
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """A full schedule: batches covering iterations [0, log N)."""
+
+    log_n: int
+    batches: Tuple[Batch, ...]
+
+    def __post_init__(self) -> None:
+        cursor = 0
+        for b in self.batches:
+            if b.shift != cursor or b.width <= 0:
+                raise NttError("batches must tile [0, log N) in order")
+            cursor = b.end
+        if cursor != self.log_n:
+            raise NttError(
+                f"batches cover {cursor} iterations, need {self.log_n}"
+            )
+
+    @property
+    def n(self) -> int:
+        return 1 << self.log_n
+
+
+def plan_batches(log_n: int, max_width: int) -> BatchPlan:
+    """Tile ``log_n`` iterations into batches of at most ``max_width``,
+    front-loading full-width batches (the baseline's fixed-8 grouping
+    and GZKP's flexible grouping both use this tiling)."""
+    if max_width < 1:
+        raise NttError("batch width must be >= 1")
+    batches = []
+    cursor = 0
+    while cursor < log_n:
+        width = min(max_width, log_n - cursor)
+        batches.append(Batch(cursor, width))
+        cursor += width
+    return BatchPlan(log_n, tuple(batches))

@@ -1,0 +1,144 @@
+"""The POLY stage: H(x) = (A(x)B(x) - C(x)) / (x^N - 1) via seven NTTs.
+
+This is the prover's first stage (Figure 1). The inputs are the
+evaluation vectors a, b, c of the QAP polynomials A, B, C over the
+domain of N-th roots of unity. The quotient H must be computed on a
+*coset* g * <omega> (on the domain itself the vanishing polynomial
+x^N - 1 is zero and A*B - C has no information beyond the witness
+check), giving exactly the paper's seven NTT-sized operations:
+
+  1-3. INTT(a), INTT(b), INTT(c)            -> coefficient form
+  4-6. coset-NTT of each                    -> evaluations on g * <omega>
+  7.   coset-INTT of h evaluations          -> coefficients of H
+
+with the pointwise work (A*B - C) * (g^N - 1)^{-1} in between (the
+vanishing polynomial is the constant g^N - 1 on the coset).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import NttError
+from repro.ff.opcount import OpCounter
+from repro.ff.primefield import PrimeField
+from repro.gpusim.trace import Trace
+
+__all__ = ["PolyStage", "NTT_OPS_PER_PROOF"]
+
+#: the paper's §5.2: one proof performs seven NTT operations
+NTT_OPS_PER_PROOF = 7
+
+
+class PolyStage:
+    """Computes H's coefficients from a, b, c evaluations using any NTT
+    engine exposing ``compute`` / ``compute_inverse`` (GZKP, baseline or
+    CPU model) — the engines are interchangeable because they are all
+    functionally exact."""
+
+    def __init__(self, field: PrimeField, engine):
+        self.field = field
+        self.engine = engine
+
+    # -- coset helpers ---------------------------------------------------------
+
+    def _coset_generator(self) -> int:
+        """A multiplicative-generator-like element g with g^N != 1; any
+        non-residue works (its order does not divide (p-1)/2)."""
+        return self.field.find_nonresidue()
+
+    def _scale_by_powers(self, values: Sequence[int], g: int,
+                         counter: Optional[OpCounter]) -> List[int]:
+        p = self.field.modulus
+        out = []
+        acc = 1
+        for v in values:
+            out.append(v * acc % p)
+            acc = acc * g % p
+        if counter is not None:
+            counter.count("fr_mul", 2 * len(out))
+        return out
+
+    def coset_ntt(self, coeffs: Sequence[int],
+                  counter: Optional[OpCounter] = None) -> List[int]:
+        """Evaluate a coefficient vector on the coset g * <omega>."""
+        g = self._coset_generator()
+        return self.engine.compute(self._scale_by_powers(coeffs, g, counter),
+                                   counter=counter)
+
+    def coset_intt(self, evals: Sequence[int],
+                   counter: Optional[OpCounter] = None) -> List[int]:
+        """Interpolate coefficients from evaluations on the coset."""
+        g_inv = self.field.inv(self._coset_generator())
+        coeffs = self.engine.compute_inverse(evals, counter=counter)
+        return self._scale_by_powers(coeffs, g_inv, counter)
+
+    # -- the stage ----------------------------------------------------------------
+
+    def compute_h(self, a: Sequence[int], b: Sequence[int], c: Sequence[int],
+                  counter: Optional[OpCounter] = None) -> List[int]:
+        """Coefficients of H(x) = (A(x)B(x) - C(x)) / (x^N - 1).
+
+        Requires a_i * b_i == c_i on the domain (i.e. a satisfied
+        constraint system); otherwise the division is inexact and the
+        result meaningless — callers should have validated satisfaction.
+        """
+        n = len(a)
+        if not (len(b) == len(c) == n):
+            raise NttError("a, b, c must have equal length")
+        if n == 0 or n & (n - 1):
+            raise NttError(f"POLY stage needs a power-of-two domain, got {n}")
+        p = self.field.modulus
+
+        a_coeffs = self.engine.compute_inverse(a, counter=counter)   # NTT 1
+        b_coeffs = self.engine.compute_inverse(b, counter=counter)   # NTT 2
+        c_coeffs = self.engine.compute_inverse(c, counter=counter)   # NTT 3
+
+        a_coset = self.coset_ntt(a_coeffs, counter)                  # NTT 4
+        b_coset = self.coset_ntt(b_coeffs, counter)                  # NTT 5
+        c_coset = self.coset_ntt(c_coeffs, counter)                  # NTT 6
+
+        g = self._coset_generator()
+        z_inv = self.field.inv((pow(g, n, p) - 1) % p)
+        h_coset = [
+            (av * bv - cv) % p * z_inv % p
+            for av, bv, cv in zip(a_coset, b_coset, c_coset)
+        ]
+        if counter is not None:
+            counter.count("fr_mul", 2 * n)
+            counter.count("fr_add", n)
+
+        return self.coset_intt(h_coset, counter)                     # NTT 7
+
+    # -- analytic plan ----------------------------------------------------------------
+
+    def plan(self, n: int) -> Trace:
+        """Counted work of the whole stage: seven engine NTTs plus the
+        pointwise passes."""
+        trace = Trace()
+        for _ in range(NTT_OPS_PER_PROOF):
+            trace.merge(self.engine.plan(n))
+        # Pointwise scaling and quotient arithmetic (4 coset scalings at
+        # 2 muls/elem plus the h-evaluation pass at 2 muls + 1 add).
+        bits = self.field.bits
+        pointwise = Trace()
+        if hasattr(self.engine, "device") and hasattr(self.engine.device, "modmul_rate"):
+            pointwise.add_gpu_muls(bits, 10 * n, backend=_engine_backend(self.engine))
+            pointwise.add_gpu_adds(bits, n)
+        else:
+            pointwise.add_cpu_muls(bits, 10 * n)
+            pointwise.add_cpu_adds(bits, n)
+        trace.merge(pointwise)
+        return trace
+
+    def estimate_seconds(self, n: int) -> float:
+        return NTT_OPS_PER_PROOF * self.engine.estimate_seconds(n)
+
+
+def _engine_backend(engine) -> str:
+    """Which multiplier backend an engine's pointwise kernels use."""
+    from repro.gpusim.trace import DFP_BACKEND, INT_BACKEND
+    variant = getattr(engine, "variant", None)
+    if variant is not None and not variant.use_dfp_library:
+        return INT_BACKEND
+    return DFP_BACKEND

@@ -1,0 +1,55 @@
+"""zkSNARK protocol layer: R1CS, Groth16 setup/prove/verify over any of
+the three supported curves, with real pairing verification everywhere."""
+
+from repro.snark.r1cs import Constraint, LinearCombination, R1CS
+from repro.snark.keys import (
+    Groth16Setup,
+    ProvingKey,
+    Trapdoor,
+    VerifyingKey,
+    setup,
+)
+from repro.snark.prover import Groth16Prover, Proof
+from repro.snark.verifier import (
+    BatchVerifier,
+    Groth16Verifier,
+    TrapdoorChecker,
+    pairing_engine_for,
+)
+from repro.snark.gzkp_prover import make_gzkp_prover
+from repro.snark.serialize import (
+    compress_g1,
+    compress_g2,
+    decompress_g1,
+    decompress_g2,
+    deserialize_proof,
+    deserialize_verifying_key,
+    serialize_proof,
+    serialize_verifying_key,
+)
+
+__all__ = [
+    "R1CS",
+    "Constraint",
+    "LinearCombination",
+    "setup",
+    "Groth16Setup",
+    "ProvingKey",
+    "VerifyingKey",
+    "Trapdoor",
+    "Groth16Prover",
+    "Proof",
+    "Groth16Verifier",
+    "BatchVerifier",
+    "TrapdoorChecker",
+    "pairing_engine_for",
+    "make_gzkp_prover",
+    "compress_g1",
+    "decompress_g1",
+    "compress_g2",
+    "decompress_g2",
+    "serialize_proof",
+    "deserialize_proof",
+    "serialize_verifying_key",
+    "deserialize_verifying_key",
+]

@@ -1,0 +1,173 @@
+"""Rank-1 constraint systems.
+
+The zkSNARK front-end representation: a statement is a list of
+constraints (A_i . z) * (B_i . z) = (C_i . z) over the assignment vector
+z = (1, public inputs..., private witness...). Rows are sparse
+{variable index: coefficient} maps — real circuits touch a handful of
+variables per constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CircuitError
+from repro.ff.primefield import PrimeField
+
+__all__ = ["LinearCombination", "Constraint", "R1CS"]
+
+# variable index -> coefficient (sparse)
+LinearCombination = Dict[int, int]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One rank-1 constraint: (a . z) * (b . z) = (c . z)."""
+
+    a: LinearCombination
+    b: LinearCombination
+    c: LinearCombination
+
+
+@dataclass
+class R1CS:
+    """A constraint system over ``field``.
+
+    Variable 0 is the constant 1; variables [1, 1 + n_public) are public
+    inputs; the rest are private witness.
+    """
+
+    field: PrimeField
+    n_public: int
+    n_variables: int = 1  # includes the constant-1 variable
+    constraints: List[Constraint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_public < 0:
+            raise CircuitError("n_public must be non-negative")
+        self.n_variables = max(self.n_variables, 1 + self.n_public)
+
+    # -- construction --------------------------------------------------------------
+
+    def new_variable(self) -> int:
+        idx = self.n_variables
+        self.n_variables += 1
+        return idx
+
+    def add_constraint(self, a: LinearCombination, b: LinearCombination,
+                       c: LinearCombination) -> None:
+        p = self.field.modulus
+        for lc in (a, b, c):
+            for var in lc:
+                if not 0 <= var < self.n_variables:
+                    raise CircuitError(f"constraint references unknown var {var}")
+        self.constraints.append(
+            Constraint(
+                a={k: v % p for k, v in a.items() if v % p},
+                b={k: v % p for k, v in b.items() if v % p},
+                c={k: v % p for k, v in c.items() if v % p},
+            )
+        )
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def eval_lc(self, lc: LinearCombination, assignment: Sequence[int]) -> int:
+        p = self.field.modulus
+        return sum(coeff * assignment[var] for var, coeff in lc.items()) % p
+
+    def check_assignment_shape(self, assignment: Sequence[int]) -> None:
+        if len(assignment) != self.n_variables:
+            raise CircuitError(
+                f"assignment has {len(assignment)} entries, "
+                f"system has {self.n_variables} variables"
+            )
+        if assignment[0] != 1:
+            raise CircuitError("assignment[0] must be the constant 1")
+
+    def is_satisfied(self, assignment: Sequence[int]) -> bool:
+        self.check_assignment_shape(assignment)
+        p = self.field.modulus
+        for con in self.constraints:
+            lhs = (
+                self.eval_lc(con.a, assignment)
+                * self.eval_lc(con.b, assignment)
+            ) % p
+            if lhs != self.eval_lc(con.c, assignment):
+                return False
+        return True
+
+    # -- QAP interface ---------------------------------------------------------------
+
+    def domain_size(self) -> int:
+        """Smallest power of two >= number of constraints (the paper's
+        power-of-2 NTT flow)."""
+        n = max(len(self.constraints), 1)
+        return 1 << (n - 1).bit_length()
+
+    def abc_evaluations(
+        self, assignment: Sequence[int]
+    ) -> Tuple[List[int], List[int], List[int]]:
+        """The POLY-stage inputs: per-constraint inner products
+        (A_i . z), (B_i . z), (C_i . z), zero-padded to the domain."""
+        self.check_assignment_shape(assignment)
+        n = self.domain_size()
+        a_vec = [0] * n
+        b_vec = [0] * n
+        c_vec = [0] * n
+        for i, con in enumerate(self.constraints):
+            a_vec[i] = self.eval_lc(con.a, assignment)
+            b_vec[i] = self.eval_lc(con.b, assignment)
+            c_vec[i] = self.eval_lc(con.c, assignment)
+        return a_vec, b_vec, c_vec
+
+    def variable_polynomials_at(self, tau: int) -> Tuple[List[int], List[int], List[int]]:
+        """u_j(tau), v_j(tau), w_j(tau) for every variable j, where
+        u_j = sum_i A_i[j] * L_i interpolates column j of A over the
+        domain (Lagrange basis L_i). Used by the trusted setup."""
+        p = self.field.modulus
+        n = self.domain_size()
+        lagrange = self._lagrange_at(tau, n)
+        u = [0] * self.n_variables
+        v = [0] * self.n_variables
+        w = [0] * self.n_variables
+        for i, con in enumerate(self.constraints):
+            li = lagrange[i]
+            for var, coeff in con.a.items():
+                u[var] = (u[var] + coeff * li) % p
+            for var, coeff in con.b.items():
+                v[var] = (v[var] + coeff * li) % p
+            for var, coeff in con.c.items():
+                w[var] = (w[var] + coeff * li) % p
+        return u, v, w
+
+    def _lagrange_at(self, tau: int, n: int) -> List[int]:
+        """All Lagrange-basis values L_i(tau) over the size-n domain in
+        O(n): L_i(tau) = omega^i (tau^n - 1) / (n (tau - omega^i))."""
+        f = self.field
+        p = f.modulus
+        omega = f.root_of_unity(n)
+        z = (pow(tau, n, p) - 1) % p
+        if z == 0:
+            # tau landed on the domain (negligible probability with an
+            # honest setup; handled exactly for completeness).
+            out = [0] * n
+            w = 1
+            for i in range(n):
+                if w == tau % p:
+                    out[i] = 1
+                w = w * omega % p
+            return out
+        denominators = []
+        w = 1
+        for i in range(n):
+            denominators.append((tau - w) % p)
+            w = w * omega % p
+        inv_dens = f.batch_inv(denominators)
+        n_inv = f.inv(n)
+        out = []
+        w = 1
+        for i in range(n):
+            out.append(w * z % p * n_inv % p * inv_dens[i] % p)
+            w = w * omega % p
+        return out

@@ -1,0 +1,221 @@
+"""Serialization: compressed points, proofs and verification keys.
+
+Wire formats follow the conventions real provers use:
+
+* **G1 points** — the x-coordinate as a big-endian field element plus a
+  flag byte carrying the sign of y (and an infinity bit). Decompression
+  recovers y as the square root of x^3 + ax + b, picking the root whose
+  parity matches the flag.
+* **G2 points** — both Fq2 coordinate components of x plus the flag; y
+  is recovered with an Fq2 square root (complex method, q = 3 mod 4 for
+  every curve here).
+* **Proofs** — A || B || C compressed (the "few hundred bytes" of §2.1).
+* **Verifying keys** — the four header points plus the IC vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.curves.params import CurvePair
+from repro.curves.weierstrass import AffinePoint, CurveGroup
+from repro.errors import ProofError
+from repro.ff.extension import ExtensionField
+from repro.snark.keys import VerifyingKey
+from repro.snark.prover import Proof
+
+__all__ = [
+    "compress_g1", "decompress_g1", "compress_g2", "decompress_g2",
+    "serialize_proof", "deserialize_proof",
+    "serialize_verifying_key", "deserialize_verifying_key",
+    "fq_sqrt", "fq2_sqrt",
+]
+
+_FLAG_INFINITY = 0x40
+_FLAG_Y_ODD = 0x01
+
+
+def _fq_bytes(group: CurveGroup) -> int:
+    field = group.coord_field
+    modulus = field.base.modulus if isinstance(field, ExtensionField) \
+        else field.modulus
+    return (modulus.bit_length() + 7) // 8
+
+
+def fq_sqrt(modulus: int, value: int) -> Optional[int]:
+    """Square root mod a prime with q = 3 (mod 4); None if non-residue."""
+    if modulus % 4 != 3:
+        raise ProofError("fq_sqrt supports q = 3 (mod 4) moduli only")
+    value %= modulus
+    root = pow(value, (modulus + 1) // 4, modulus)
+    return root if root * root % modulus == value else None
+
+
+def fq2_sqrt(field: ExtensionField, value) -> Optional[object]:
+    """Square root in Fq2 = Fq[i]/(i^2+1), complex method for
+    q = 3 (mod 4); None when the element is a non-square."""
+    q = field.base.modulus
+    a, b = value.coeffs
+    if b == 0:
+        root = fq_sqrt(q, a)
+        if root is not None:
+            return field.element([root, 0])
+        # a is a non-residue: sqrt(a) = i * sqrt(-a).
+        root = fq_sqrt(q, (-a) % q)
+        if root is None:
+            return None
+        return field.element([0, root])
+    # norm = a^2 + b^2 must be a residue.
+    norm_root = fq_sqrt(q, (a * a + b * b) % q)
+    if norm_root is None:
+        return None
+    # x^2 = (a + norm_root) / 2, y = b / (2x).
+    half_inv = pow(2, -1, q)
+    for candidate_norm in (norm_root, (-norm_root) % q):
+        x_sq = (a + candidate_norm) * half_inv % q
+        x = fq_sqrt(q, x_sq)
+        if x is None or x == 0:
+            continue
+        y = b * pow(2 * x, -1, q) % q
+        root = field.element([x, y])
+        if root * root == value:
+            return root
+    return None
+
+
+# -- G1 -----------------------------------------------------------------------
+
+
+def compress_g1(group: CurveGroup, point: AffinePoint) -> bytes:
+    """x-coordinate big-endian + 1 flag byte."""
+    n = _fq_bytes(group)
+    if point is None:
+        return bytes([_FLAG_INFINITY]) + b"\x00" * n
+    x, y = point
+    flag = _FLAG_Y_ODD if y & 1 else 0
+    return bytes([flag]) + x.to_bytes(n, "big")
+
+
+def decompress_g1(group: CurveGroup, data: bytes) -> AffinePoint:
+    n = _fq_bytes(group)
+    if len(data) != n + 1:
+        raise ProofError(f"G1 encoding must be {n + 1} bytes, got {len(data)}")
+    flag = data[0]
+    if flag & _FLAG_INFINITY:
+        return None
+    x = int.from_bytes(data[1:], "big")
+    field = group.coord_field
+    rhs = field.add(field.add(field.pow(x, 3), field.mul(group.a, x)), group.b)
+    y = fq_sqrt(field.modulus, rhs)
+    if y is None:
+        raise ProofError("invalid G1 encoding: x not on the curve")
+    if (y & 1) != (flag & _FLAG_Y_ODD):
+        y = field.modulus - y
+    point = (x, y)
+    if not group.is_on_curve(point):  # pragma: no cover - defensive
+        raise ProofError("decompressed point failed the curve check")
+    return point
+
+
+# -- G2 -----------------------------------------------------------------------
+
+
+def compress_g2(group: CurveGroup, point: AffinePoint) -> bytes:
+    """Both components of x big-endian + 1 flag byte (parity of y.c0,
+    breaking ties with y.c1 when c0 is zero)."""
+    n = _fq_bytes(group)
+    if point is None:
+        return bytes([_FLAG_INFINITY]) + b"\x00" * (2 * n)
+    x, y = point
+    c0, c1 = y.coeffs
+    parity = (c0 & 1) if c0 else (c1 & 1)
+    flag = _FLAG_Y_ODD if parity else 0
+    return (bytes([flag]) + x.coeffs[0].to_bytes(n, "big")
+            + x.coeffs[1].to_bytes(n, "big"))
+
+
+def decompress_g2(group: CurveGroup, data: bytes) -> AffinePoint:
+    n = _fq_bytes(group)
+    if len(data) != 2 * n + 1:
+        raise ProofError(
+            f"G2 encoding must be {2 * n + 1} bytes, got {len(data)}"
+        )
+    flag = data[0]
+    if flag & _FLAG_INFINITY:
+        return None
+    field = group.coord_field
+    x = field.element([
+        int.from_bytes(data[1:n + 1], "big"),
+        int.from_bytes(data[n + 1:], "big"),
+    ])
+    rhs = x * x * x + group.a * x + group.b
+    y = fq2_sqrt(field, rhs)
+    if y is None:
+        raise ProofError("invalid G2 encoding: x not on the curve")
+    c0, c1 = y.coeffs
+    parity = (c0 & 1) if c0 else (c1 & 1)
+    if parity != (flag & _FLAG_Y_ODD):
+        y = -y
+    point = (x, y)
+    if not group.is_on_curve(point):  # pragma: no cover - defensive
+        raise ProofError("decompressed point failed the curve check")
+    return point
+
+
+# -- proof / key containers ------------------------------------------------------
+
+
+def serialize_proof(proof: Proof, curve: CurvePair) -> bytes:
+    return (compress_g1(curve.g1, proof.a)
+            + compress_g2(curve.g2, proof.b)
+            + compress_g1(curve.g1, proof.c))
+
+
+def deserialize_proof(data: bytes, curve: CurvePair) -> Proof:
+    n1 = _fq_bytes(curve.g1) + 1
+    n2 = 2 * _fq_bytes(curve.g2) + 1
+    if len(data) != 2 * n1 + n2:
+        raise ProofError(f"proof encoding must be {2 * n1 + n2} bytes")
+    return Proof(
+        a=decompress_g1(curve.g1, data[:n1]),
+        b=decompress_g2(curve.g2, data[n1:n1 + n2]),
+        c=decompress_g1(curve.g1, data[n1 + n2:]),
+    )
+
+
+def serialize_verifying_key(vk: VerifyingKey, curve: CurvePair) -> bytes:
+    parts = [
+        compress_g1(curve.g1, vk.alpha_g1),
+        compress_g2(curve.g2, vk.beta_g2),
+        compress_g2(curve.g2, vk.gamma_g2),
+        compress_g2(curve.g2, vk.delta_g2),
+        len(vk.ic).to_bytes(4, "big"),
+    ]
+    parts.extend(compress_g1(curve.g1, p) for p in vk.ic)
+    return b"".join(parts)
+
+
+def deserialize_verifying_key(data: bytes, curve: CurvePair) -> VerifyingKey:
+    n1 = _fq_bytes(curve.g1) + 1
+    n2 = 2 * _fq_bytes(curve.g2) + 1
+    cursor = 0
+
+    def take(size: int) -> bytes:
+        nonlocal cursor
+        if cursor + size > len(data):
+            raise ProofError("verifying-key encoding truncated")
+        chunk = data[cursor:cursor + size]
+        cursor += size
+        return chunk
+
+    alpha = decompress_g1(curve.g1, take(n1))
+    beta = decompress_g2(curve.g2, take(n2))
+    gamma = decompress_g2(curve.g2, take(n2))
+    delta = decompress_g2(curve.g2, take(n2))
+    ic_len = int.from_bytes(take(4), "big")
+    ic: List[AffinePoint] = [decompress_g1(curve.g1, take(n1))
+                             for _ in range(ic_len)]
+    if cursor != len(data):
+        raise ProofError("verifying-key encoding has trailing bytes")
+    return VerifyingKey(alpha_g1=alpha, beta_g2=beta, gamma_g2=gamma,
+                        delta_g2=delta, ic=ic)

@@ -1,0 +1,25 @@
+"""End-to-end system models: GZKP and the four baselines of Table 1."""
+
+from repro.systems.base import MSM_OPS_PER_PROOF, ProofTimings, ZkpSystem
+from repro.systems.implementations import (
+    BellmanSystem,
+    BellpersonSystem,
+    GzkpSystem,
+    LibsnarkSystem,
+    MinaSystem,
+    best_cpu_system,
+    best_gpu_baseline,
+)
+
+__all__ = [
+    "ZkpSystem",
+    "ProofTimings",
+    "MSM_OPS_PER_PROOF",
+    "LibsnarkSystem",
+    "BellmanSystem",
+    "MinaSystem",
+    "BellpersonSystem",
+    "GzkpSystem",
+    "best_cpu_system",
+    "best_gpu_baseline",
+]

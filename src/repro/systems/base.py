@@ -1,0 +1,97 @@
+"""End-to-end ZKP system models.
+
+A *system* is a (POLY engine, MSM engine, platform) combination — GZKP
+or one of the four baselines of Table 1. Its job is to price a full
+proof generation for a workload: §5.2's seven NTT operations plus five
+MSM operations (three G1 MSMs over the sparse assignment vector, one G2
+MSM over it, and one dense G1 MSM over the quotient coefficients h).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.workloads import Workload
+from repro.curves.params import CURVES, CurvePair
+from repro.msm.windows import DigitStats
+
+__all__ = ["ProofTimings", "ZkpSystem", "MSM_OPS_PER_PROOF"]
+
+#: §5.2: one proof performs five MSM operations
+MSM_OPS_PER_PROOF = 5
+
+
+@dataclass(frozen=True)
+class ProofTimings:
+    """Stage times of one proof generation, in seconds."""
+
+    poly_seconds: float
+    msm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.poly_seconds + self.msm_seconds
+
+
+class ZkpSystem:
+    """Base class: subclasses provide the engines; this class provides
+    the proof-shape bookkeeping shared by every system."""
+
+    name = "abstract"
+    platform = "none"
+
+    def __init__(self, curve_name: str):
+        self.curve: CurvePair = CURVES[curve_name]
+        self.scalar_bits = self.curve.fr.bits
+
+    # -- hooks -------------------------------------------------------------------
+
+    def ntt_seconds(self, n: int) -> float:
+        """One N-point NTT."""
+        raise NotImplementedError
+
+    def msm_seconds(self, n: int, stats: DigitStats, g2: bool) -> float:
+        """One N-point MSM with the given digit statistics."""
+        raise NotImplementedError
+
+    def msm_window(self, n: int) -> int:
+        """The window size this system's MSM uses at scale n (needed to
+        compute digit statistics consistently)."""
+        raise NotImplementedError
+
+    # -- the proof shape ------------------------------------------------------------
+
+    def poly_stage_seconds(self, workload: Workload) -> float:
+        """Seven NTT operations over the workload's domain (§5.2)."""
+        return 7 * self.ntt_seconds(workload.domain_size)
+
+    def msm_stage_seconds(self, workload: Workload) -> float:
+        """Five MSMs (§5.2): A-query, B-G1, B-G2, C-query over the
+        sparse assignment; H-query over the dense quotient vector. MSMs
+        run over the raw vector size — unlike the NTTs, nothing forces a
+        power-of-two pad."""
+        n = workload.vector_size
+        k = self.msm_window(n)
+        sparse = DigitStats.sparse_model(
+            n, self.scalar_bits, k,
+            zero_fraction=workload.zero_fraction,
+            one_fraction=workload.one_fraction,
+        )
+        dense = DigitStats.dense_model(n, self.scalar_bits, k)
+        seconds = 0.0
+        seconds += self.msm_seconds(n, sparse, g2=False)   # A-query
+        seconds += self.msm_seconds(n, sparse, g2=False)   # B-query (G1)
+        seconds += self.msm_seconds(n, sparse, g2=True)    # B-query (G2)
+        seconds += self.msm_seconds(n, sparse, g2=False)   # C-query
+        seconds += self.msm_seconds(n, dense, g2=False)    # H-query
+        return seconds
+
+    def prove_seconds(self, workload: Workload) -> ProofTimings:
+        """End-to-end proof generation time for a workload."""
+        return ProofTimings(
+            poly_seconds=self.poly_stage_seconds(workload),
+            msm_seconds=self.msm_stage_seconds(workload),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.curve.name})"

@@ -1,0 +1,230 @@
+"""The five systems of Table 1, as composable models.
+
+================= ========= =====================================
+system            platform  engines
+================= ========= =====================================
+libsnark          CPU       CpuNtt + CpuMsm
+bellman           CPU       CpuNtt + CpuMsm (Rust twin of libsnark)
+MINA              GPU (MSM) CpuNtt (POLY stays on CPU) + StrausMsm
+bellperson        GPU       BaselineGpuNtt + SubMsmPippenger
+GZKP              GPU       GzkpNtt + GzkpMsm (+ multi-GPU mode)
+================= ========= =====================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.workloads import Workload
+from repro.gpusim import GTX1080TI, V100, cost
+from repro.gpusim.device import XEON_5117, GpuDevice
+from repro.msm.cpu import CpuMsm, optimal_cpu_window
+from repro.msm.gzkp import GzkpMsm
+from repro.msm.pippenger import SubMsmPippenger
+from repro.msm.straus import StrausMsm
+from repro.msm.windows import DigitStats
+from repro.ntt.cpu import CpuNtt
+from repro.ntt.gpu_baseline import BaselineGpuNtt
+from repro.ntt.gpu_gzkp import GzkpNtt
+from repro.systems.base import ProofTimings, ZkpSystem
+
+__all__ = [
+    "LibsnarkSystem",
+    "BellmanSystem",
+    "MinaSystem",
+    "BellpersonSystem",
+    "GzkpSystem",
+    "best_cpu_system",
+    "best_gpu_baseline",
+]
+
+
+class _CpuSystem(ZkpSystem):
+    """Shared CPU-prover model (libsnark and bellman differ in language
+    and supported curves, not in algorithmic structure)."""
+
+    platform = "CPU"
+
+    def __init__(self, curve_name: str):
+        super().__init__(curve_name)
+        self._ntt = CpuNtt(self.curve.fr, XEON_5117)
+        self._msm_g1 = CpuMsm(self.curve.g1, self.scalar_bits, XEON_5117)
+        self._msm_g2 = CpuMsm(
+            self.curve.g1, self.scalar_bits, XEON_5117,
+            fq_mul_factor=cost.G2_FQ_MUL_FACTOR,
+        )
+
+    def ntt_seconds(self, n: int) -> float:
+        return self._ntt.estimate_seconds(n)
+
+    def msm_window(self, n: int) -> int:
+        return optimal_cpu_window(n, self.scalar_bits)
+
+    def msm_seconds(self, n: int, stats: DigitStats, g2: bool) -> float:
+        engine = self._msm_g2 if g2 else self._msm_g1
+        return engine.estimate_seconds(n, stats)
+
+    # The thread pool spins up once per stage, not once per operation.
+    def poly_stage_seconds(self, workload: Workload) -> float:
+        return super().poly_stage_seconds(workload) - 6 * cost.CPU_DISPATCH_OVERHEAD
+
+    def msm_stage_seconds(self, workload: Workload) -> float:
+        return super().msm_stage_seconds(workload) - 4 * cost.CPU_DISPATCH_OVERHEAD
+
+
+class LibsnarkSystem(_CpuSystem):
+    name = "libsnark"
+
+
+class BellmanSystem(_CpuSystem):
+    name = "bellman"
+
+
+class MinaSystem(ZkpSystem):
+    """MINA accelerates only the MSM stage (§5.2): overall time is
+    libsnark's POLY plus Straus-on-GPU MSM."""
+
+    name = "MINA"
+    platform = "GPU"
+
+    def __init__(self, curve_name: str = "MNT4753",
+                 device: GpuDevice = V100):
+        super().__init__(curve_name)
+        self._ntt = CpuNtt(self.curve.fr, XEON_5117)
+        self._msm_g1 = StrausMsm(self.curve.g1, self.scalar_bits, device)
+        self._msm_g2 = StrausMsm(
+            self.curve.g1, self.scalar_bits, device,
+            fq_mul_factor=cost.G2_FQ_MUL_FACTOR,
+        )
+
+    def ntt_seconds(self, n: int) -> float:
+        return self._ntt.estimate_seconds(n)
+
+    def msm_window(self, n: int) -> int:
+        return self._msm_g1.window
+
+    def msm_seconds(self, n: int, stats: DigitStats, g2: bool) -> float:
+        engine = self._msm_g2 if g2 else self._msm_g1
+        return engine.estimate_seconds(n, stats)
+
+    # POLY runs on the CPU (libsnark's): one pool spin-up per stage.
+    def poly_stage_seconds(self, workload: Workload) -> float:
+        return super().poly_stage_seconds(workload) - 6 * cost.CPU_DISPATCH_OVERHEAD
+
+
+class BellpersonSystem(ZkpSystem):
+    """bellperson; supports multiple GPU cards for the MSM stage only
+    (Table 4's Best-GPU rows), with sub-linear scaling."""
+
+    name = "bellperson"
+    platform = "GPU"
+
+    #: MSM scaling efficiency on multiple cards (Table 3 vs Table 4:
+    #: Sprout MSM 2.24 s -> 1.08 s on 4 cards).
+    MULTI_GPU_EFFICIENCY = 0.5
+
+    def __init__(self, curve_name: str = "BLS12-381",
+                 device: GpuDevice = V100, n_gpus: int = 1):
+        super().__init__(curve_name)
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        self.device = device
+        self.n_gpus = n_gpus
+        self._ntt = BaselineGpuNtt(self.curve.fr, device)
+        self._msm_g1 = SubMsmPippenger(self.curve.g1, self.scalar_bits, device)
+        self._msm_g2 = SubMsmPippenger(
+            self.curve.g1, self.scalar_bits, device,
+            fq_mul_factor=cost.G2_FQ_MUL_FACTOR,
+        )
+
+    def ntt_seconds(self, n: int) -> float:
+        return self._ntt.estimate_seconds(n)
+
+    def msm_window(self, n: int) -> int:
+        return self._msm_g1.window
+
+    def msm_seconds(self, n: int, stats: DigitStats, g2: bool) -> float:
+        engine = self._msm_g2 if g2 else self._msm_g1
+        seconds = engine.estimate_seconds(n, stats, cpu_device=XEON_5117)
+        if self.n_gpus > 1:
+            seconds /= self.n_gpus * self.MULTI_GPU_EFFICIENCY
+        return seconds
+
+
+class GzkpSystem(ZkpSystem):
+    """GZKP, single- or multi-GPU.
+
+    Multi-GPU (Table 4): the seven data-independent NTTs are distributed
+    round-robin across cards (ceil(7/g) sequential rounds); each MSM is
+    split horizontally into g sub-MSMs, one per card, with an inter-card
+    reduction at the end.
+    """
+
+    name = "GZKP"
+    platform = "GPU"
+
+    def __init__(self, curve_name: str, device: GpuDevice = V100,
+                 n_gpus: int = 1):
+        super().__init__(curve_name)
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        self.device = device
+        self.n_gpus = n_gpus
+        self._ntt = GzkpNtt(self.curve.fr, device)
+        self._msm_g1 = GzkpMsm(self.curve.g1, self.scalar_bits, device)
+        self._msm_g2 = GzkpMsm(
+            self.curve.g1, self.scalar_bits, device,
+            fq_mul_factor=cost.G2_FQ_MUL_FACTOR,
+        )
+
+    def ntt_seconds(self, n: int) -> float:
+        return self._ntt.estimate_seconds(n)
+
+    def msm_window(self, n: int) -> int:
+        return self._msm_g1.configure(n).window
+
+    def msm_seconds(self, n: int, stats: DigitStats, g2: bool) -> float:
+        engine = self._msm_g2 if g2 else self._msm_g1
+        return engine.estimate_seconds(n, stats)
+
+    # -- multi-GPU overrides -------------------------------------------------------
+
+    def poly_stage_seconds(self, workload: Workload) -> float:
+        single = self.ntt_seconds(workload.domain_size)
+        if self.n_gpus == 1:
+            return 7 * single
+        rounds = math.ceil(7 / self.n_gpus)
+        transfer = (
+            workload.domain_size
+            * self.curve.fr.limbs64 * 8
+            / self.device.host_bandwidth
+        )
+        return rounds * single + transfer
+
+    def msm_stage_seconds(self, workload: Workload) -> float:
+        single = super().msm_stage_seconds(workload)
+        if self.n_gpus == 1:
+            return single
+        # Horizontal split with near-linear scaling plus a per-proof
+        # inter-card reduction (a handful of point transfers + adds).
+        scaled = single / (self.n_gpus * cost.MULTI_GPU_EFFICIENCY)
+        reduce_overhead = 2e-3 * self.n_gpus
+        return scaled + reduce_overhead
+
+
+def best_cpu_system(curve_name: str) -> ZkpSystem:
+    """The evaluation's Best-CPU pick: libsnark for curves it supports,
+    bellman otherwise (Table 1)."""
+    if curve_name == "BLS12-381":
+        return BellmanSystem(curve_name)
+    return LibsnarkSystem(curve_name)
+
+
+def best_gpu_baseline(curve_name: str, device: GpuDevice = V100) -> ZkpSystem:
+    """The evaluation's Best-GPU pick per curve: MINA for MNT4753,
+    bellperson for BLS12-381 (Table 1)."""
+    if curve_name == "MNT4753":
+        return MinaSystem(curve_name, device)
+    if curve_name == "BLS12-381":
+        return BellpersonSystem(curve_name, device)
+    raise ValueError(f"no GPU baseline supports {curve_name}")

@@ -1,0 +1,82 @@
+"""Tests for batch verification (random-linear-combination batching)."""
+
+import random
+
+import pytest
+
+from repro.curves import CURVES
+from repro.errors import ProofError
+from repro.snark import (
+    BatchVerifier,
+    Groth16Prover,
+    Groth16Verifier,
+    R1CS,
+    setup,
+)
+
+CURVE = CURVES["ALT-BN128"]
+F = CURVE.fr
+
+
+@pytest.fixture(scope="module")
+def batch_setup():
+    """One circuit, several proofs over different witnesses."""
+    r1cs = R1CS(field=F, n_public=1)
+    x = r1cs.new_variable()
+    r1cs.add_constraint({x: 1}, {x: 1}, {1: 1})  # x^2 = public
+    keys = setup(r1cs, CURVE, random.Random(55))
+    prover = Groth16Prover(r1cs, keys.proving_key, CURVE)
+    proofs, publics = [], []
+    for i, x_val in enumerate((3, 11, 254)):
+        assignment = [1, x_val * x_val % F.modulus, x_val]
+        proofs.append(prover.prove(assignment, random.Random(100 + i)))
+        publics.append([x_val * x_val % F.modulus])
+    return keys, proofs, publics
+
+
+class TestBatchVerifier:
+    def test_all_valid_batch_accepts(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        assert batch.verify_batch(proofs, publics, random.Random(1))
+
+    def test_single_bad_proof_fails_batch(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        g1 = CURVE.g1
+        tampered = list(proofs)
+        tampered[1] = type(proofs[1])(
+            a=g1.add(proofs[1].a, g1.generator), b=proofs[1].b, c=proofs[1].c
+        )
+        assert not batch.verify_batch(tampered, publics, random.Random(2))
+
+    def test_wrong_public_input_fails_batch(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        bad = [list(p) for p in publics]
+        bad[0][0] = (bad[0][0] + 1) % F.modulus
+        assert not batch.verify_batch(proofs, bad, random.Random(3))
+
+    def test_empty_batch_accepts(self, batch_setup):
+        keys, _, _ = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        assert batch.verify_batch([], [], random.Random(4))
+
+    def test_length_mismatch_raises(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        with pytest.raises(ProofError):
+            batch.verify_batch(proofs, publics[:-1], random.Random(5))
+
+    def test_infinity_proof_rejected(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        broken = list(proofs)
+        broken[0] = type(proofs[0])(a=None, b=proofs[0].b, c=proofs[0].c)
+        assert not batch.verify_batch(broken, publics, random.Random(6))
+
+    def test_agrees_with_single_verification(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        single = Groth16Verifier(keys.verifying_key, CURVE)
+        for proof, inputs in zip(proofs, publics):
+            assert single.verify(proof, inputs)

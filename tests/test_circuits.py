@@ -1,0 +1,209 @@
+"""Tests for the circuit builder DSL and the workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    ZCASH_WORKLOADS,
+    ZKSNARK_WORKLOADS,
+    aes_like_circuit,
+    auction_circuit,
+    merkle_tree_circuit,
+    rsa_enc_circuit,
+    sha256_like_circuit,
+    workload,
+)
+from repro.errors import CircuitError
+from repro.ff import ALT_BN128_R
+
+F = ALT_BN128_R
+
+
+class TestBuilderGates:
+    def test_mul(self):
+        b = CircuitBuilder(F)
+        x, y = b.witness(6), b.witness(7)
+        out = b.mul(x, y)
+        assert b.value(out) == 42
+        assert b.build().is_satisfied(b.assignment)
+
+    def test_add_and_linear(self):
+        b = CircuitBuilder(F)
+        x, y = b.witness(10), b.witness(20)
+        s = b.add(x, y)
+        lc = b.linear({x: 3, y: -1})
+        assert b.value(s) == 30
+        assert b.value(lc) == 10
+        assert b.build().is_satisfied(b.assignment)
+
+    def test_boolean_constraint(self):
+        b = CircuitBuilder(F)
+        b.boolean_witness(0)
+        b.boolean_witness(1)
+        assert b.build().is_satisfied(b.assignment)
+        with pytest.raises(CircuitError):
+            b.boolean_witness(2)
+
+    def test_boolean_violation_detected(self):
+        b = CircuitBuilder(F)
+        v = b.witness(2)
+        b.assert_boolean(v)
+        assert not b.r1cs.is_satisfied(b.assignment)
+
+    def test_bit_decomposition(self):
+        b = CircuitBuilder(F)
+        v = b.witness(0b1011)
+        bits = b.decompose_bits(v, 4)
+        assert [b.value(bit) for bit in bits] == [1, 1, 0, 1]
+        assert b.build().is_satisfied(b.assignment)
+
+    def test_bit_decomposition_overflow_rejected(self):
+        b = CircuitBuilder(F)
+        v = b.witness(16)
+        with pytest.raises(CircuitError):
+            b.decompose_bits(v, 4)
+
+    def test_select(self):
+        b = CircuitBuilder(F)
+        t, f_val = b.witness(100), b.witness(200)
+        flag1 = b.boolean_witness(1)
+        flag0 = b.boolean_witness(0)
+        assert b.value(b.select(flag1, t, f_val)) == 100
+        assert b.value(b.select(flag0, t, f_val)) == 200
+        assert b.build().is_satisfied(b.assignment)
+
+    def test_xor_and(self):
+        b = CircuitBuilder(F)
+        bits = {v: b.boolean_witness(v) for v in (0, 1)}
+        for x in (0, 1):
+            for y in (0, 1):
+                assert b.value(b.xor(bits[x], bits[y])) == x ^ y
+                assert b.value(b.and_gate(bits[x], bits[y])) == x & y
+        assert b.build().is_satisfied(b.assignment)
+
+    def test_pow_const(self):
+        b = CircuitBuilder(F)
+        x = b.witness(3)
+        assert b.value(b.pow_const(x, 5)) == 243
+        assert b.build().is_satisfied(b.assignment)
+        with pytest.raises(CircuitError):
+            b.pow_const(x, 0)
+
+    def test_unbound_public_rejected(self):
+        b = CircuitBuilder(F, n_public=1)
+        b.witness(5)
+        with pytest.raises(CircuitError):
+            b.build()
+
+    def test_excess_public_rejected(self):
+        b = CircuitBuilder(F, n_public=1)
+        b.set_public(5)
+        with pytest.raises(CircuitError):
+            b.set_public(6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.integers(min_value=0, max_value=2**32),
+           y=st.integers(min_value=0, max_value=2**32))
+    def test_mul_gate_property(self, x, y):
+        b = CircuitBuilder(F)
+        vx, vy = b.witness(x), b.witness(y)
+        out = b.mul(vx, vy)
+        assert b.value(out) == x * y % F.modulus
+        assert b.r1cs.is_satisfied(b.assignment)
+
+
+GENERATORS = {
+    "aes": lambda: aes_like_circuit(F, rounds=2),
+    "sha": lambda: sha256_like_circuit(F, rounds=3),
+    "rsa": lambda: rsa_enc_circuit(F, exponent_bits=4),
+    "merkle": lambda: merkle_tree_circuit(F, depth=3),
+    "auction": lambda: auction_circuit(F, n_bidders=4),
+}
+
+
+@pytest.fixture(params=list(GENERATORS), ids=list(GENERATORS))
+def generated(request):
+    return GENERATORS[request.param]()
+
+
+class TestWorkloadCircuits:
+    def test_satisfiable(self, generated):
+        r1cs, assignment = generated
+        assert r1cs.is_satisfied(assignment)
+
+    def test_tampered_witness_unsatisfies(self, generated):
+        r1cs, assignment = generated
+        bad = list(assignment)
+        # Flip a mid-circuit witness value.
+        bad[len(bad) // 2] = (bad[len(bad) // 2] + 1) % F.modulus
+        assert not r1cs.is_satisfied(bad)
+
+    def test_nontrivial_size(self, generated):
+        r1cs, _ = generated
+        assert len(r1cs.constraints) >= 10
+
+    def test_has_sparse_assignment(self, generated):
+        """All workload circuits produce 0/1-heavy assignments (§4.2)."""
+        _, assignment = generated
+        zeros_ones = sum(1 for v in assignment if v in (0, 1))
+        assert zeros_ones / len(assignment) > 0.10
+
+
+class TestAuctionSemantics:
+    def test_winner_is_max(self):
+        r1cs, assignment = auction_circuit(F, n_bidders=5, seed=3)
+        assert r1cs.is_satisfied(assignment)
+
+    def test_wrong_winner_rejected(self):
+        """Raising the public winner above the true max must fail the
+        'winner equals one of the bids' constraint chain."""
+        r1cs, assignment = auction_circuit(F, n_bidders=4, seed=4)
+        bad = list(assignment)
+        bad[1] = (bad[1] + 1) % F.modulus  # public winner
+        assert not r1cs.is_satisfied(bad)
+
+
+class TestScaling:
+    def test_merkle_constraints_scale_with_depth(self):
+        shallow, _ = merkle_tree_circuit(F, depth=2)
+        deep, _ = merkle_tree_circuit(F, depth=6)
+        assert len(deep.constraints) > 2.5 * len(shallow.constraints)
+
+    def test_auction_constraints_scale_with_bidders(self):
+        small, _ = auction_circuit(F, n_bidders=2)
+        large, _ = auction_circuit(F, n_bidders=8)
+        assert len(large.constraints) > 2 * len(small.constraints)
+
+
+class TestRegistry:
+    def test_paper_vector_sizes(self):
+        """Table 2 / Table 3 vector sizes, exactly."""
+        assert ZKSNARK_WORKLOADS["AES"].vector_size == 16383
+        assert ZKSNARK_WORKLOADS["Auction"].vector_size == 557055
+        assert ZCASH_WORKLOADS["Sprout"].vector_size == 2097151
+
+    def test_domains_are_powers_of_two(self):
+        for w in {**ZKSNARK_WORKLOADS, **ZCASH_WORKLOADS}.values():
+            d = w.domain_size
+            assert d & (d - 1) == 0
+            assert d >= w.vector_size
+
+    def test_all_small_builds_satisfiable(self):
+        for w in {**ZKSNARK_WORKLOADS, **ZCASH_WORKLOADS}.values():
+            r1cs, assignment = w.build_small(F)
+            assert r1cs.is_satisfied(assignment), w.name
+
+    def test_lookup(self):
+        assert workload("AES").curve_name == "MNT4753"
+        assert workload("Sprout").curve_name == "BLS12-381"
+        with pytest.raises(KeyError):
+            workload("nonexistent")
+
+    def test_sparsity_profiles_sane(self):
+        for w in {**ZKSNARK_WORKLOADS, **ZCASH_WORKLOADS}.values():
+            assert 0 < w.zero_fraction < 1
+            assert 0 < w.one_fraction < 1
+            assert w.zero_fraction + w.one_fraction > 0.8  # "highly sparse"
+            assert w.zero_fraction + w.one_fraction < 1.0

@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy and error reporting."""
+
+import pytest
+
+from repro.errors import (
+    CircuitError,
+    CurveError,
+    FieldError,
+    GpuOutOfMemoryError,
+    MsmError,
+    NttError,
+    ProofError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        FieldError, CurveError, NttError, MsmError, CircuitError,
+        ProofError, SimulationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_oom_is_simulation_error(self):
+        assert issubclass(GpuOutOfMemoryError, SimulationError)
+
+
+class TestOomReporting:
+    def test_message_carries_sizes(self):
+        err = GpuOutOfMemoryError(64 * 2**30, 32 * 2**30,
+                                  detail="Straus table")
+        assert err.required_bytes == 64 * 2**30
+        assert err.available_bytes == 32 * 2**30
+        message = str(err)
+        assert "64.00 GiB" in message
+        assert "32.00 GiB" in message
+        assert "Straus table" in message
+
+    def test_detail_optional(self):
+        err = GpuOutOfMemoryError(2**30, 2**29)
+        assert "GiB" in str(err)
+
+    def test_catchable_as_library_error(self):
+        with pytest.raises(ReproError):
+            raise GpuOutOfMemoryError(1, 0)

@@ -1,0 +1,111 @@
+"""Tests for kernel timelines and the per-phase breakdown reporting."""
+
+import pytest
+
+from repro.curves import CURVES
+from repro.ff import BLS12_381_R
+from repro.gpusim import V100, Trace
+from repro.gpusim.executor import Kernel, KernelTimeline
+from repro.gpusim.trace import DFP_BACKEND
+from repro.msm import GzkpMsm
+from repro.ntt import GzkpNtt
+
+
+def _trace(muls):
+    t = Trace()
+    t.add_gpu_muls(381, muls, DFP_BACKEND)
+    return t
+
+
+class TestKernelTimeline:
+    def test_total_is_sum_of_kernels(self):
+        tl = KernelTimeline(device=V100)
+        tl.add("a", "p1", _trace(1_000_000))
+        tl.add("b", "p2", _trace(2_000_000))
+        expected = sum(tl.kernel_seconds(k) for k in tl.kernels)
+        assert tl.total_seconds() == pytest.approx(expected)
+
+    def test_phase_grouping(self):
+        tl = KernelTimeline(device=V100)
+        tl.add("a", "merge", _trace(1_000_000))
+        tl.add("b", "merge", _trace(1_000_000))
+        tl.add("c", "reduce", _trace(500_000))
+        phases = tl.phase_seconds()
+        assert set(phases) == {"merge", "reduce"}
+        assert phases["merge"] > phases["reduce"]
+        fractions = tl.phase_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_timeline(self):
+        tl = KernelTimeline(device=V100)
+        assert tl.total_seconds() == 0
+        assert tl.phase_fractions() == {}
+        assert tl.peak_memory_bytes() == 0
+
+    def test_peak_memory(self):
+        tl = KernelTimeline(device=V100)
+        t1, t2 = _trace(1), _trace(1)
+        t1.gpu_memory_bytes = 100
+        t2.gpu_memory_bytes = 300
+        tl.add("a", "p", t1)
+        tl.add("b", "p", t2)
+        assert tl.peak_memory_bytes() == 300
+
+    def test_render(self):
+        tl = KernelTimeline(device=V100)
+        tl.add("kernel-x", "phase-y", _trace(1_000_000))
+        text = tl.render("My breakdown")
+        assert "My breakdown" in text
+        assert "kernel-x" in text
+        assert "total" in text
+
+
+class TestMsmTimeline:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        bls = CURVES["BLS12-381"]
+        return GzkpMsm(bls.g1, bls.fr.bits, V100).timeline(1 << 22)
+
+    def test_phases_present(self, timeline):
+        phases = timeline.phase_seconds()
+        assert "point-merging" in phases
+        assert "bucket-reduction" in phases
+
+    def test_point_merging_dominates(self, timeline):
+        """§4.1: 'The point-merging step is the most time-consuming,
+        taking up 90% of the overall MSM execution.'"""
+        fractions = timeline.phase_fractions()
+        assert fractions["point-merging"] > 0.75
+
+    def test_timeline_consistent_with_estimate(self, timeline):
+        bls = CURVES["BLS12-381"]
+        estimate = GzkpMsm(bls.g1, bls.fr.bits, V100).estimate_seconds(1 << 22)
+        assert timeline.total_seconds() == pytest.approx(estimate, rel=0.4)
+
+    def test_fold_kernel_appears_when_checkpointed(self):
+        bls = CURVES["BLS12-381"]
+        engine = GzkpMsm(bls.g1, bls.fr.bits, V100, window=16, interval=4)
+        names = [k.name for k in engine.timeline(1 << 20).kernels]
+        assert "residual checkpoint fold" in names
+        engine_full = GzkpMsm(bls.g1, bls.fr.bits, V100, window=16, interval=1)
+        names_full = [k.name for k in engine_full.timeline(1 << 20).kernels]
+        assert "residual checkpoint fold" not in names_full
+
+
+class TestNttTimeline:
+    def test_batches_match_config(self):
+        engine = GzkpNtt(BLS12_381_R, V100)
+        cfg = engine.configure(1 << 22)
+        timeline = engine.timeline(1 << 22)
+        assert len(timeline.kernels) == cfg.n_batches
+
+    def test_total_close_to_estimate(self):
+        engine = GzkpNtt(BLS12_381_R, V100)
+        assert engine.timeline(1 << 22).total_seconds() == pytest.approx(
+            engine.estimate_seconds(1 << 22), rel=0.3
+        )
+
+    def test_all_butterfly_phase(self):
+        engine = GzkpNtt(BLS12_381_R, V100)
+        fractions = engine.timeline(1 << 20).phase_fractions()
+        assert fractions == {"butterflies": pytest.approx(1.0)}

@@ -1,0 +1,187 @@
+"""Extension-field tower and pairing tests (Groth16's verification
+substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.ff import ALT_BN128_Q, ExtensionField, PrimeField
+from repro.curves import (
+    bls12_381_g1,
+    bls12_381_g2,
+    bls12_381_pairing,
+    bn128_g1,
+    bn128_g2,
+    bn128_pairing,
+)
+
+F13 = PrimeField(13, name="F_13")
+# F_13[x]/(x^2 + 1): -1 is a non-residue mod 13? 5^2=25=12=-1, so it IS a
+# residue; use x^2 - 2 instead (2 is a non-residue mod 13).
+F169 = ExtensionField(F13, [-2, 0], name="F_169")
+
+
+class TestExtensionFieldSmall:
+    def test_add_sub(self):
+        a = F169.element([3, 4])
+        b = F169.element([10, 12])
+        assert (a + b).coeffs == (0, 3)
+        assert (a - b).coeffs == (6, 5)
+
+    def test_mul_reduction(self):
+        # (x)(x) = x^2 = 2 in F_13[x]/(x^2-2).
+        x = F169.element([0, 1])
+        assert (x * x).coeffs == (2, 0)
+
+    def test_scalar_mul(self):
+        a = F169.element([3, 4])
+        assert (a * 2).coeffs == (6, 8)
+        assert (2 * a).coeffs == (6, 8)
+        assert a.scale(13).coeffs == (0, 0)
+
+    def test_inverse_all_nonzero_elements(self):
+        one = F169.one
+        for c0 in range(13):
+            for c1 in range(13):
+                if c0 == c1 == 0:
+                    continue
+                a = F169.element([c0, c1])
+                assert a * a.inverse() == one
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(FieldError):
+            F169.zero.inverse()
+
+    def test_pow(self):
+        a = F169.element([3, 4])
+        assert a ** 0 == F169.one
+        assert a ** 1 == a
+        assert a ** 5 == a * a * a * a * a
+        assert a ** (-2) == (a * a).inverse()
+
+    def test_field_order_exponent(self):
+        # |F_169^*| = 168; Lagrange.
+        a = F169.element([3, 4])
+        assert a ** 168 == F169.one
+
+    def test_conjugate(self):
+        a = F169.element([3, 4])
+        assert a.conjugate().coeffs == (3, 9)
+        # Norm a * conj(a) lands in the base field.
+        assert (a * a.conjugate()).coeffs[1] == 0
+
+    def test_wrong_coeff_count_rejected(self):
+        with pytest.raises(FieldError):
+            F169.element([1, 2, 3])
+
+    def test_cross_field_mix_rejected(self):
+        other = ExtensionField(F13, [-2, 0, 0], name="F_13^3")
+        with pytest.raises(FieldError):
+            _ = F169.element([1, 2]) + other.element([1, 2, 3])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    c=st.tuples(*[st.integers(min_value=0, max_value=12)] * 2),
+    d=st.tuples(*[st.integers(min_value=0, max_value=12)] * 2),
+    e=st.tuples(*[st.integers(min_value=0, max_value=12)] * 2),
+)
+def test_extension_ring_axioms_property(c, d, e):
+    a, b, g = F169.element(list(c)), F169.element(list(d)), F169.element(list(e))
+    assert a * b == b * a
+    assert (a * b) * g == a * (b * g)
+    assert a * (b + g) == a * b + a * g
+
+
+class TestFq12Tower:
+    def test_bn128_fq12_inverse(self):
+        eng = bn128_pairing()
+        rng = random.Random(0)
+        a = eng.fq12.element([rng.randrange(ALT_BN128_Q.modulus) for _ in range(12)])
+        assert a * a.inverse() == eng.fq12.one
+
+    def test_embedding_consistency(self):
+        """i = w^6 - 9 in the BN128 tower: embedding Fq2 elements through
+        the twist must respect multiplication."""
+        eng = bn128_pairing()
+        w6 = eng.fq12.element([0] * 6 + [1] + [0] * 5)
+        i_embed = w6 - eng.fq12.from_base(9)
+        assert i_embed * i_embed == eng.fq12.from_base(-1)
+
+    def test_bls_embedding_consistency(self):
+        eng = bls12_381_pairing()
+        w6 = eng.fq12.element([0] * 6 + [1] + [0] * 5)
+        i_embed = w6 - eng.fq12.from_base(1)
+        assert i_embed * i_embed == eng.fq12.from_base(-1)
+
+
+class TestBn128Pairing:
+    """BN254 pairing — full bilinearity battery (fast enough to run)."""
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        eng = bn128_pairing()
+        e = eng.pairing(bn128_g1.generator, bn128_g2.generator)
+        return eng, e
+
+    def test_nondegenerate(self, base):
+        eng, e = base
+        assert e != eng.fq12.one
+
+    def test_bilinear_left(self, base):
+        eng, e = base
+        p2 = bn128_g1.scalar_mul(2, bn128_g1.generator)
+        assert eng.pairing(p2, bn128_g2.generator) == e * e
+
+    def test_bilinear_right(self, base):
+        eng, e = base
+        q3 = bn128_g2.scalar_mul(3, bn128_g2.generator)
+        assert eng.pairing(bn128_g1.generator, q3) == e ** 3
+
+    def test_bilinear_both(self, base):
+        eng, e = base
+        p5 = bn128_g1.scalar_mul(5, bn128_g1.generator)
+        q7 = bn128_g2.scalar_mul(7, bn128_g2.generator)
+        assert eng.pairing(p5, q7) == e ** 35
+
+    def test_negation(self, base):
+        eng, e = base
+        pneg = bn128_g1.neg(bn128_g1.generator)
+        assert eng.pairing(pneg, bn128_g2.generator) == e.inverse()
+
+    def test_infinity_pairs_to_one(self, base):
+        eng, _ = base
+        assert eng.pairing(None, bn128_g2.generator) == eng.fq12.one
+        assert eng.pairing(bn128_g1.generator, None) == eng.fq12.one
+
+    def test_pairing_product_check(self, base):
+        """e(P, Q) * e(-P, Q) == 1 via the batched product check."""
+        eng, _ = base
+        pairs = [
+            (bn128_g1.generator, bn128_g2.generator),
+            (bn128_g1.neg(bn128_g1.generator), bn128_g2.generator),
+        ]
+        assert eng.pairing_product_is_one(pairs)
+
+    def test_pairing_product_check_rejects(self, base):
+        eng, _ = base
+        pairs = [
+            (bn128_g1.generator, bn128_g2.generator),
+            (bn128_g1.generator, bn128_g2.generator),
+        ]
+        assert not eng.pairing_product_is_one(pairs)
+
+
+@pytest.mark.slow
+class TestBls12381Pairing:
+    """BLS12-381 pairing — one bilinearity check (slower field)."""
+
+    def test_bilinearity(self):
+        eng = bls12_381_pairing()
+        e = eng.pairing(bls12_381_g1.generator, bls12_381_g2.generator)
+        assert e != eng.fq12.one
+        p2 = bls12_381_g1.scalar_mul(2, bls12_381_g1.generator)
+        assert eng.pairing(p2, bls12_381_g2.generator) == e * e

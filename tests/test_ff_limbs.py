@@ -1,0 +1,154 @@
+"""Tests for the GPU-style limb arithmetic: 64-bit Montgomery (CIOS) and
+the base-2^52 double-precision-float path (§4.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.ff import (
+    ALT_BN128_Q,
+    BLS12_381_Q,
+    MNT4753_Q,
+    DfpMultiplier,
+    MontgomeryContext,
+    from_limbs,
+    to_limbs,
+    two_product,
+    veltkamp_split,
+)
+
+MODULI = {
+    "256-bit": ALT_BN128_Q.modulus,
+    "381-bit": BLS12_381_Q.modulus,
+    "753-bit": MNT4753_Q.modulus,
+}
+
+
+@pytest.fixture(params=list(MODULI), ids=list(MODULI))
+def modulus(request):
+    return MODULI[request.param]
+
+
+class TestLimbCodec:
+    def test_roundtrip(self):
+        rng = random.Random(0)
+        for bits in (64, 128, 256, 753):
+            v = rng.getrandbits(bits)
+            n = (bits + 63) // 64
+            assert from_limbs(to_limbs(v, n)) == v
+
+    def test_overflow_rejected(self):
+        with pytest.raises(FieldError):
+            to_limbs(1 << 64, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(FieldError):
+            to_limbs(-1, 4)
+
+
+class TestMontgomeryCios:
+    def test_limb_geometry(self):
+        assert MontgomeryContext(ALT_BN128_Q.modulus).n_limbs == 4
+        assert MontgomeryContext(BLS12_381_Q.modulus).n_limbs == 6
+        assert MontgomeryContext(MNT4753_Q.modulus).n_limbs == 12
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(FieldError):
+            MontgomeryContext(16)
+
+    def test_domain_roundtrip(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        rng = random.Random(7)
+        for _ in range(10):
+            a = rng.randrange(modulus)
+            assert ctx.from_mont(ctx.to_mont(a)) == a
+
+    def test_cios_matches_bignum(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        rng = random.Random(8)
+        for _ in range(15):
+            a, b = rng.randrange(modulus), rng.randrange(modulus)
+            assert ctx.mont_mul_int(a, b) == a * b % modulus
+
+    def test_limb_add_sub(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        rng = random.Random(9)
+        for _ in range(10):
+            a, b = rng.randrange(modulus), rng.randrange(modulus)
+            la, lb = to_limbs(a, ctx.n_limbs), to_limbs(b, ctx.n_limbs)
+            assert from_limbs(ctx.limb_add(la, lb)) == (a + b) % modulus
+            assert from_limbs(ctx.limb_sub(la, lb)) == (a - b) % modulus
+
+    def test_word_op_counts_scale_quadratically(self):
+        c256 = MontgomeryContext(ALT_BN128_Q.modulus)
+        c753 = MontgomeryContext(MNT4753_Q.modulus)
+        # 2n^2 + n: 4 limbs -> 36 ops; 12 limbs -> 300 ops.
+        assert c256.mul_word_ops() == 36
+        assert c753.mul_word_ops() == 300
+
+    def test_edge_values(self, modulus):
+        ctx = MontgomeryContext(modulus)
+        for a, b in [(0, 0), (0, modulus - 1), (modulus - 1, modulus - 1), (1, 1)]:
+            assert ctx.mont_mul_int(a, b) == a * b % modulus
+
+
+class TestDekker:
+    def test_veltkamp_split_exact(self):
+        for a in (1.0, 3.5, 2.0**52 - 1, 12345678901.0):
+            hi, lo = veltkamp_split(a)
+            assert hi + lo == a
+
+    def test_two_product_exact_on_52bit_limbs(self):
+        rng = random.Random(10)
+        for _ in range(200):
+            a = float(rng.getrandbits(52))
+            b = float(rng.getrandbits(52))
+            hi, lo = two_product(a, b)
+            assert int(hi) + int(lo) == int(a) * int(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=2**52 - 1),
+           b=st.integers(min_value=0, max_value=2**52 - 1))
+    def test_two_product_property(self, a, b):
+        hi, lo = two_product(float(a), float(b))
+        assert int(hi) + int(lo) == a * b
+
+
+class TestDfpMultiplier:
+    def test_limb_geometry_matches_paper(self):
+        # §4.3: base D = 2^52 gives 15 limbs for a 753-bit integer.
+        assert DfpMultiplier(MNT4753_Q.modulus).n_limbs == 15
+        assert DfpMultiplier(ALT_BN128_Q.modulus).n_limbs == 5
+        assert DfpMultiplier(BLS12_381_Q.modulus).n_limbs == 8
+
+    def test_raw_mul_exact(self, modulus):
+        mult = DfpMultiplier(modulus)
+        rng = random.Random(11)
+        for _ in range(10):
+            a, b = rng.randrange(modulus), rng.randrange(modulus)
+            assert mult.raw_mul(a, b) == a * b
+
+    def test_mod_mul_matches_field(self, modulus):
+        mult = DfpMultiplier(modulus)
+        rng = random.Random(12)
+        for _ in range(10):
+            a, b = rng.randrange(modulus), rng.randrange(modulus)
+            assert mult.mod_mul(a, b) == a * b % modulus
+
+    def test_agreement_between_backends(self, modulus):
+        """The integer (Montgomery) and float (DFP) paths are bit-exact
+        equal — the key correctness claim of the GZKP library."""
+        mont = MontgomeryContext(modulus)
+        dfp = DfpMultiplier(modulus)
+        rng = random.Random(13)
+        for _ in range(8):
+            a, b = rng.randrange(modulus), rng.randrange(modulus)
+            assert mont.mont_mul_int(a, b) == dfp.mod_mul(a, b)
+
+    def test_zero_and_identity(self, modulus):
+        mult = DfpMultiplier(modulus)
+        assert mult.mod_mul(0, 12345) == 0
+        assert mult.mod_mul(1, 12345) == 12345 % modulus

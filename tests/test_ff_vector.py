@@ -1,0 +1,133 @@
+"""Tests for FieldVector and the column-major GPU layout model (§3)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.ff import ALT_BN128_R, BLS12_381_R, MNT4753_R, FieldVector
+from repro.ff.vectorfield import pad_to_power_of_two
+
+F = BLS12_381_R
+
+
+def rand_vec(n, field=F, seed=0):
+    rng = random.Random(seed)
+    return FieldVector(field, [rng.randrange(field.modulus) for _ in range(n)])
+
+
+class TestBasics:
+    def test_canonicalisation(self):
+        v = FieldVector(F, [F.modulus + 5, -1])
+        assert v[0] == 5
+        assert v[1] == F.modulus - 1
+
+    def test_sequence_protocol(self):
+        v = rand_vec(8)
+        assert len(v) == 8
+        v[3] = 42
+        assert v[3] == 42
+        assert list(iter(v)) == v.values
+
+    def test_equality_and_copy(self):
+        v = rand_vec(4)
+        w = v.copy()
+        assert v == w
+        w[0] = (w[0] + 1) % F.modulus
+        assert v != w
+
+    def test_zeros_random(self):
+        assert FieldVector.zeros(F, 5).values == [0] * 5
+        rng = random.Random(1)
+        v = FieldVector.random(F, 5, rng)
+        assert all(0 <= x < F.modulus for x in v)
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self):
+        a, b = rand_vec(16, seed=1), rand_vec(16, seed=2)
+        assert a.add(b).sub(b) == a
+
+    def test_pointwise_mul(self):
+        a, b = rand_vec(8, seed=3), rand_vec(8, seed=4)
+        prod = a.pointwise_mul(b)
+        assert prod[2] == a[2] * b[2] % F.modulus
+
+    def test_scale(self):
+        a = rand_vec(8, seed=5)
+        assert a.scale(3)[1] == a[1] * 3 % F.modulus
+
+    def test_length_mismatch(self):
+        with pytest.raises(FieldError):
+            rand_vec(4).add(rand_vec(5))
+
+    def test_field_mismatch(self):
+        with pytest.raises(FieldError):
+            rand_vec(4).add(rand_vec(4, field=ALT_BN128_R))
+
+
+class TestColumnMajorLayout:
+    @pytest.mark.parametrize("field", [ALT_BN128_R, BLS12_381_R, MNT4753_R],
+                             ids=lambda f: f.name)
+    def test_roundtrip(self, field):
+        v = rand_vec(10, field=field, seed=6)
+        mat = v.to_column_major()
+        assert mat.shape == (field.limbs64, 10)
+        assert FieldVector.from_column_major(field, mat) == v
+
+    def test_row_j_holds_word_j(self):
+        v = FieldVector(F, [(3 << 64) | 7])
+        mat = v.to_column_major()
+        assert int(mat[0, 0]) == 7   # word 0
+        assert int(mat[1, 0]) == 3   # word 1
+
+    def test_column_major_is_contiguous_by_word(self):
+        """The paper's layout: the first words of all N integers are
+        stored contiguously. numpy's C-order flatten of our (limbs, N)
+        matrix gives exactly that order."""
+        v = rand_vec(4, seed=7)
+        flat = v.to_column_major().flatten()
+        # First N entries are word 0 of each element, in element order.
+        for i in range(4):
+            assert int(flat[i]) == v[i] & ((1 << 64) - 1)
+
+    def test_word_address(self):
+        v = rand_vec(100, seed=8)
+        # Word w of element e is at w * N + e.
+        assert v.word_address(5, 0) == 5
+        assert v.word_address(5, 2) == 2 * 100 + 5
+        with pytest.raises(FieldError):
+            v.word_address(100, 0)
+        with pytest.raises(FieldError):
+            v.word_address(0, v.n_limbs)
+
+    def test_warp_access_contiguity(self):
+        """32 threads reading word w of elements e..e+31 touch 32
+        consecutive addresses — the coalescing the layout exists for."""
+        v = rand_vec(256, seed=9)
+        addresses = [v.word_address(e, 3) for e in range(32, 64)]
+        assert addresses == list(range(addresses[0], addresses[0] + 32))
+
+    def test_wrong_limb_count_rejected(self):
+        mat = np.zeros((2, 4), dtype=np.uint64)
+        with pytest.raises(FieldError):
+            FieldVector.from_column_major(MNT4753_R, mat)
+
+    def test_byte_accounting(self):
+        v = rand_vec(10, field=MNT4753_R)
+        assert v.element_bytes() == 12 * 8
+        assert v.nbytes() == 10 * 96
+
+
+class TestPadding:
+    def test_pad_to_power_of_two(self):
+        padded = pad_to_power_of_two([1, 2, 3], F)
+        assert len(padded) == 4
+        assert padded.values == [1, 2, 3, 0]
+
+    def test_already_power(self):
+        assert len(pad_to_power_of_two([1, 2, 3, 4], F)) == 4
+
+    def test_empty(self):
+        assert len(pad_to_power_of_two([], F)) == 1

@@ -1,0 +1,178 @@
+"""Tests for the GPU/CPU execution model: traces, devices, costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import DFP_BACKEND, GTX1080TI, INT_BACKEND, V100, Trace, cost
+from repro.gpusim.device import XEON_5117
+
+
+class TestTrace:
+    def test_counters(self):
+        t = Trace()
+        t.add_gpu_muls(381, 100, DFP_BACKEND)
+        t.add_gpu_muls(381, 50, INT_BACKEND)
+        t.add_gpu_adds(381, 30)
+        assert t.total_gpu_muls() == 150
+        assert t.gpu_adds[381] == 30
+
+    def test_coalescing_accounting(self):
+        t = Trace()
+        t.add_global_traffic(1000, coalescing=0.25)
+        assert t.global_bytes == 1000
+        assert t.global_bytes_transferred == 4000
+        assert t.coalescing_efficiency() == 0.25
+
+    def test_bad_coalescing_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.add_global_traffic(100, coalescing=0.0)
+        with pytest.raises(ValueError):
+            t.add_global_traffic(100, coalescing=1.5)
+
+    def test_perfect_coalescing_default(self):
+        t = Trace()
+        assert t.coalescing_efficiency() == 1.0
+
+    def test_merge_accumulates(self):
+        a, b = Trace(), Trace()
+        a.add_gpu_muls(255, 10, DFP_BACKEND)
+        b.add_gpu_muls(255, 20, DFP_BACKEND)
+        b.add_global_traffic(512)
+        b.gpu_memory_bytes = 1000
+        a.gpu_memory_bytes = 400
+        a.merge(b)
+        assert a.gpu_muls[(255, DFP_BACKEND)] == 30
+        assert a.global_bytes == 512
+        # Footprints overlap in time: max, not sum.
+        assert a.gpu_memory_bytes == 1000
+
+    def test_merge_weights_efficiency_by_muls(self):
+        a, b = Trace(), Trace()
+        a.add_gpu_muls(255, 100, DFP_BACKEND)
+        a.parallel_efficiency = 1.0
+        b.add_gpu_muls(255, 300, DFP_BACKEND)
+        b.parallel_efficiency = 0.5
+        a.merge(b)
+        assert a.parallel_efficiency == pytest.approx(0.625)
+
+
+class TestGpuDevice:
+    def test_v100_specs_match_paper(self):
+        # §3: 80 SMs, 48 KB shared memory per SM, 32 B L2 lines, 32 GB.
+        assert V100.sm_count == 80
+        assert V100.shared_mem_per_sm == 48 * 1024
+        assert V100.l2_line_bytes == 32
+        assert V100.global_mem_bytes == 32 * 2**30
+
+    def test_rates_decrease_with_bit_width(self):
+        for backend in (INT_BACKEND, DFP_BACKEND):
+            r256 = V100.modmul_rate(254, backend)
+            r381 = V100.modmul_rate(381, backend)
+            r753 = V100.modmul_rate(753, backend)
+            assert r256 > r381 > r753
+
+    def test_dfp_faster_than_int(self):
+        for bits in (254, 381, 753):
+            assert V100.modmul_rate(bits, DFP_BACKEND) > (
+                V100.modmul_rate(bits, INT_BACKEND)
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            V100.modmul_rate(254, "quantum")
+
+    def test_1080ti_slower(self):
+        for backend in (INT_BACKEND, DFP_BACKEND):
+            assert GTX1080TI.modmul_rate(381, backend) < (
+                V100.modmul_rate(381, backend)
+            )
+        assert GTX1080TI.mem_bandwidth < V100.mem_bandwidth
+        assert GTX1080TI.global_mem_bytes < V100.global_mem_bytes
+
+    def test_time_compute_memory_overlap(self):
+        """Kernel time is max(compute, memory), not their sum."""
+        t = Trace()
+        t.add_gpu_muls(381, 1_000_000, DFP_BACKEND)
+        compute_only = V100.time_of(t)
+        t.add_global_traffic(1000)  # negligible memory
+        assert V100.time_of(t) == pytest.approx(compute_only, rel=1e-6)
+
+    def test_memory_bound_kernel(self):
+        t = Trace()
+        t.add_gpu_muls(381, 10, DFP_BACKEND)
+        t.add_global_traffic(90e9)  # 0.1 s of bandwidth
+        assert V100.time_of(t) == pytest.approx(0.1, rel=0.05)
+
+    def test_block_overhead_visible(self):
+        t = Trace()
+        t.add_kernel(blocks=1_000_000, launches=1)
+        assert V100.time_of(t) >= 1_000_000 * V100.block_sched_overhead
+
+    def test_fits(self):
+        t = Trace()
+        t.gpu_memory_bytes = 33 * 2**30
+        assert not V100.fits(t)
+        assert not GTX1080TI.fits(t)
+        t.gpu_memory_bytes = 8 * 2**30
+        assert V100.fits(t)
+
+    def test_bad_utilization_rejected(self):
+        t = Trace()
+        t.add_gpu_muls(254, 10, INT_BACKEND)
+        t.parallel_efficiency = 0.0
+        with pytest.raises(ValueError):
+            V100.compute_time(t)
+
+
+class TestCpuDevice:
+    def test_paper_anchor_constants(self):
+        # §1: 230 ns per 381-bit modmul, 43 ns per addition.
+        assert XEON_5117.modmul_381_ns == 230.0
+        assert XEON_5117.add_381_ns == 43.0
+
+    def test_quadratic_mul_scaling(self):
+        assert XEON_5117.modmul_ns(753) == pytest.approx(230 * 4, rel=0.01)
+        assert XEON_5117.modmul_ns(254) == pytest.approx(
+            230 * (4 / 6) ** 2, rel=0.01
+        )
+
+    def test_linear_add_scaling(self):
+        assert XEON_5117.add_ns(753) == pytest.approx(86, rel=0.01)
+
+    def test_parallel_vs_serial(self):
+        t = Trace()
+        t.add_cpu_muls(381, 10_000_000)
+        par = XEON_5117.time_of(t, parallel=True)
+        ser = XEON_5117.time_of(t, parallel=False)
+        assert ser > 10 * par
+
+    def test_dispatch_only_on_parallel(self):
+        t = Trace()
+        t.add_cpu_muls(381, 1)
+        assert XEON_5117.time_of(t, parallel=False) < 1e-5
+        assert XEON_5117.time_of(t, parallel=True) >= (
+            cost.CPU_DISPATCH_OVERHEAD
+        )
+
+
+class TestCostHelpers:
+    def test_chain_stall_decreases_with_width(self):
+        assert cost.msm_chain_stall(254) > cost.msm_chain_stall(381)
+        assert cost.msm_chain_stall(381) > cost.msm_chain_stall(753)
+        assert cost.msm_chain_stall(753) > 1.0
+
+    def test_cpu_msm_stall_decreases_with_width(self):
+        assert cost.cpu_msm_stall(254) == pytest.approx(1.5)
+        assert cost.cpu_msm_stall(753) < 1.2
+
+
+@settings(max_examples=30, deadline=None)
+@given(muls=st.integers(min_value=1, max_value=10**9),
+       bits=st.sampled_from([254, 381, 753]))
+def test_time_monotone_in_work_property(muls, bits):
+    small, big = Trace(), Trace()
+    small.add_gpu_muls(bits, muls, DFP_BACKEND)
+    big.add_gpu_muls(bits, 2 * muls, DFP_BACKEND)
+    assert V100.time_of(big) >= V100.time_of(small)

@@ -1,0 +1,128 @@
+"""Algebraic property tests for the MSM implementations (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import bn128_g1
+from repro.gpusim import V100
+from repro.msm import GzkpMsm, SubMsmPippenger, naive_msm
+
+G = bn128_g1
+L = 254
+
+
+def _inputs(rng, n):
+    points = [G.random_point(rng) for _ in range(n)]
+    scalars = [rng.randrange(G.order) for _ in range(n)]
+    return scalars, points
+
+
+def _engine(k=5, m=2):
+    return GzkpMsm(G, L, V100, window=k, interval=m)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_linearity_in_scalars(seed):
+    """msm(s + t, P) == msm(s, P) + msm(t, P)."""
+    rng = random.Random(seed)
+    n = rng.randrange(2, 10)
+    s, points = _inputs(rng, n)
+    t = [rng.randrange(G.order) for _ in range(n)]
+    engine = _engine()
+    lhs = engine.compute([(a + b) % G.order for a, b in zip(s, t)], points)
+    rhs = G.add(engine.compute(s, points), engine.compute(t, points))
+    assert lhs == rhs
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_permutation_invariance(seed):
+    """The inner product is order-independent."""
+    rng = random.Random(seed)
+    n = rng.randrange(2, 12)
+    scalars, points = _inputs(rng, n)
+    engine = _engine()
+    base = engine.compute(scalars, points)
+    order = list(range(n))
+    rng.shuffle(order)
+    shuffled = engine.compute([scalars[i] for i in order],
+                              [points[i] for i in order])
+    assert base == shuffled
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_splitting_additivity(seed):
+    """msm(v) == msm(v[:k]) + msm(v[k:]) — the identity behind both
+    sub-MSM partitioning and the multi-GPU split."""
+    rng = random.Random(seed)
+    n = rng.randrange(4, 14)
+    scalars, points = _inputs(rng, n)
+    cut = rng.randrange(1, n)
+    engine = _engine()
+    whole = engine.compute(scalars, points)
+    parts = G.add(engine.compute(scalars[:cut], points[:cut]),
+                  engine.compute(scalars[cut:], points[cut:]))
+    assert whole == parts
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_scalar_scaling(seed):
+    """msm(c * s, P) == c * msm(s, P)."""
+    rng = random.Random(seed)
+    n = rng.randrange(2, 8)
+    scalars, points = _inputs(rng, n)
+    c = rng.randrange(1, G.order)
+    engine = _engine()
+    lhs = engine.compute([s * c % G.order for s in scalars], points)
+    rhs = G.scalar_mul(c, engine.compute(scalars, points))
+    assert lhs == rhs
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       k=st.integers(min_value=3, max_value=10),
+       m=st.integers(min_value=1, max_value=6))
+def test_result_independent_of_configuration(seed, k, m):
+    """Window size and checkpoint interval are performance knobs — the
+    result must not depend on them."""
+    rng = random.Random(seed)
+    n = rng.randrange(2, 10)
+    scalars, points = _inputs(rng, n)
+    expected = naive_msm(G, scalars, points)
+    assert GzkpMsm(G, L, V100, window=k, interval=m).compute(
+        scalars, points
+    ) == expected
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       window=st.integers(min_value=4, max_value=12))
+def test_pippenger_window_invariance(seed, window):
+    rng = random.Random(seed)
+    n = rng.randrange(2, 10)
+    scalars, points = _inputs(rng, n)
+    engine = SubMsmPippenger(G, L, V100, window=window)
+    assert engine.compute(scalars, points) == naive_msm(G, scalars, points)
+
+
+def test_duplicate_points_accumulate():
+    """Repeated points must contribute multiple times (buckets merge
+    them into one accumulation chain)."""
+    rng = random.Random(99)
+    p = G.random_point(rng)
+    engine = _engine()
+    result = engine.compute([3, 4], [p, p])
+    assert result == G.scalar_mul(7, p)
+
+
+def test_point_and_its_negation_cancel():
+    rng = random.Random(100)
+    p = G.random_point(rng)
+    engine = _engine()
+    assert engine.compute([5, 5], [p, G.neg(p)]) is None

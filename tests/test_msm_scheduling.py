@@ -1,0 +1,243 @@
+"""Tests for digit statistics, workload grouping (Figure 6) and the
+fine-grained task mapping (Figure 7), plus the MSM cost-model shapes."""
+
+import random
+
+import pytest
+
+from repro.curves import bls12_381_g1, bn128_g1, mnt4753_g1
+from repro.errors import GpuOutOfMemoryError, MsmError
+from repro.gpusim import GTX1080TI, V100
+from repro.gpusim.device import XEON_5117
+from repro.msm import (
+    CpuMsm,
+    DigitStats,
+    GzkpMsm,
+    StrausMsm,
+    SubMsmPippenger,
+    bucket_histogram,
+    group_tasks_by_load,
+    map_tasks_to_warps,
+    memory_curve,
+    schedule_quality,
+)
+
+
+def sparse_scalars(n, seed=0, zero_frac=0.35, one_frac=0.35, bits=254):
+    """A Zcash-like sparse scalar vector (§4.2: bound checks and range
+    constraints introduce many 0s and 1s)."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < zero_frac:
+            out.append(0)
+        elif roll < zero_frac + one_frac:
+            out.append(1)
+        else:
+            out.append(rng.getrandbits(bits))
+    return out
+
+
+class TestDigitStats:
+    def test_dense_exact_vs_model(self):
+        """The analytic dense model must track measured stats closely."""
+        rng = random.Random(1)
+        scalars = [rng.getrandbits(254) for _ in range(2000)]
+        measured = DigitStats.of(scalars, 254, 8)
+        model = DigitStats.dense_model(2000, 254, 8)
+        assert measured.windows == model.windows
+        assert measured.nonzero_digits == pytest.approx(
+            model.nonzero_digits, rel=0.02
+        )
+        assert measured.nonzero_fraction == pytest.approx(
+            model.nonzero_fraction, rel=0.02
+        )
+
+    def test_sparse_model_tracks_measured(self):
+        scalars = sparse_scalars(4000, seed=2)
+        measured = DigitStats.of(scalars, 254, 8)
+        model = DigitStats.sparse_model(4000, 254, 8,
+                                        zero_fraction=0.35, one_fraction=0.35)
+        assert measured.nonzero_digits == pytest.approx(
+            model.nonzero_digits, rel=0.1
+        )
+        # Bucket 1 dominates in both.
+        assert measured.bucket_imbalance > 2.0
+        assert model.bucket_imbalance > 2.0
+
+    def test_window_imbalance_sparse(self):
+        """Sparse vectors load window 0 disproportionately — the
+        straggler effect that hurts window-parallel baselines."""
+        stats = DigitStats.of(sparse_scalars(2000, seed=3), 254, 8)
+        assert stats.window_imbalance > 1.3
+        dense = DigitStats.of([random.Random(4).getrandbits(254)
+                               for _ in range(2000)], 254, 8)
+        assert dense.window_imbalance < 1.1
+
+    def test_sparse_model_validates_fractions(self):
+        with pytest.raises(MsmError):
+            DigitStats.sparse_model(100, 254, 8, 0.7, 0.7)
+
+
+class TestFigure6Histogram:
+    def test_bucket_zero_excluded(self):
+        hist = bucket_histogram([0, 0, 0], 254, 8)
+        assert hist == {}
+
+    def test_histogram_counts(self):
+        # scalar 5 with k=4, 8 bits: digits [5, 0] -> bucket 5 once.
+        hist = bucket_histogram([5, 5, 0x55], 8, 4)
+        assert hist[5] == 4  # 5 -> one digit each; 0x55 -> two digits of 5
+
+    def test_zcash_like_spread(self):
+        """Figure 6: up to 2.85x spread across bucket loads at Zcash's
+        scale/sparsity. The synthetic workload must reproduce a
+        comparable spread."""
+        scalars = sparse_scalars(1 << 12, seed=5, bits=254)
+        hist = bucket_histogram(scalars, 254, 8)
+        spread = max(hist.values()) / min(hist.values())
+        assert spread > 2.0
+
+
+class TestTaskGrouping:
+    def _histogram(self):
+        scalars = sparse_scalars(1 << 11, seed=6)
+        return bucket_histogram(scalars, 254, 8)
+
+    def test_groups_cover_all_buckets(self):
+        hist = self._histogram()
+        groups = group_tasks_by_load(hist, n_groups=8)
+        covered = [b for g in groups for b in g.buckets]
+        assert sorted(covered) == sorted(hist)
+
+    def test_groups_ordered_heaviest_first(self):
+        groups = group_tasks_by_load(self._histogram(), n_groups=8)
+        means = [g.mean_load for g in groups]
+        assert means == sorted(means, reverse=True)
+
+    def test_similar_loads_within_group(self):
+        hist = self._histogram()
+        for g in group_tasks_by_load(hist, n_groups=8):
+            loads = [hist[b] for b in g.buckets]
+            assert max(loads) - min(loads) <= (g.hi - g.lo)
+
+    def test_empty_histogram(self):
+        assert group_tasks_by_load({}, n_groups=4) == []
+
+    def test_bad_group_count(self):
+        with pytest.raises(MsmError):
+            group_tasks_by_load({1: 2}, n_groups=0)
+
+
+class TestTaskMapping:
+    def test_heavy_buckets_get_more_warps(self):
+        hist = {1: 1000, 2: 100, 3: 110, 4: 95}
+        groups = group_tasks_by_load(hist, n_groups=4)
+        assignments = map_tasks_to_warps(groups, hist)
+        by_bucket = {a.bucket: a.warps for a in assignments}
+        assert by_bucket[1] > by_bucket[2]
+        assert by_bucket[2] >= 1
+
+    def test_mapping_improves_balance(self):
+        """Proportional warp allocation must beat one-warp-per-task on a
+        skewed histogram — the whole point of Figure 7."""
+        hist = bucket_histogram(sparse_scalars(1 << 11, seed=7), 254, 8)
+        groups = group_tasks_by_load(hist, n_groups=8)
+        mapped = map_tasks_to_warps(groups, hist)
+        naive = [type(a)(bucket=a.bucket, load=a.load, warps=1) for a in mapped]
+        assert schedule_quality(mapped) > schedule_quality(naive)
+
+    def test_quality_bounds(self):
+        assert schedule_quality([]) == 1.0
+
+
+class TestCostModelShapes:
+    """The relative behaviours the evaluation section reports."""
+
+    def test_gzkp_beats_bellperson_381(self):
+        gz = GzkpMsm(bls12_381_g1, 255, V100)
+        bp = SubMsmPippenger(bls12_381_g1, 255, V100)
+        for lg in (18, 22, 26):
+            n = 1 << lg
+            ratio = bp.estimate_seconds(n, cpu_device=XEON_5117) / (
+                gz.estimate_seconds(n)
+            )
+            # Table 7: 5.6x - 8.5x.
+            assert 3.0 < ratio < 15.0
+
+    def test_gzkp_beats_mina_753(self):
+        gz = GzkpMsm(mnt4753_g1, 750, V100)
+        mina = StrausMsm(mnt4753_g1, 750, V100)
+        for lg in (16, 20, 22):
+            n = 1 << lg
+            ratio = mina.estimate_seconds(n) / gz.estimate_seconds(n)
+            # Table 7: 9.2x - 12.4x.
+            assert 5.0 < ratio < 20.0
+
+    def test_mina_oom_beyond_2_22(self):
+        """Figure 9 / Table 7: MINA fails above 2^22 at 753-bit."""
+        mina = StrausMsm(mnt4753_g1, 750, V100)
+        mina.estimate_seconds(1 << 22)  # fits
+        with pytest.raises(GpuOutOfMemoryError):
+            mina.estimate_seconds(1 << 24)
+
+    def test_gzkp_scales_to_2_26_within_memory(self):
+        gz = GzkpMsm(bls12_381_g1, 255, V100)
+        trace = gz.plan(1 << 26)
+        assert trace.gpu_memory_bytes < V100.global_mem_bytes
+
+    def test_gzkp_memory_plateau(self):
+        """Figure 9: GZKP-BLS memory stabilises beyond 2^22."""
+        curve = memory_curve("gzkp", bls12_381_g1, 255, V100,
+                             log_scales=[22, 24, 26])
+        growth = curve[26] / curve[22]
+        # 16x more data, < 3x more memory: the checkpoint table is
+        # capped, only the unavoidable input vectors keep growing.
+        assert growth < 3.0
+
+    def test_mina_memory_steep(self):
+        curve = memory_curve("mina", mnt4753_g1, 750, V100,
+                             log_scales=[18, 22])
+        assert curve[22] / curve[18] > 10
+
+    def test_sparse_hurts_baselines_more_than_gzkp(self):
+        """Tables 2/3's core story: on sparse real-world u, baselines
+        lose much more than GZKP does (its LB keeps utilisation)."""
+        n = 1 << 20
+        dense = DigitStats.dense_model(n, 255, 10)
+        sparse = DigitStats.sparse_model(n, 255, 10, 0.35, 0.35)
+        bp = SubMsmPippenger(bls12_381_g1, 255, V100)
+        bp_penalty = bp.device.time_of(bp.plan(n, sparse)) / (
+            bp.device.time_of(bp.plan(n, dense))
+        )
+        # Sparse vectors have FAR fewer nonzero digits; a balanced system
+        # gets faster, an imbalanced one stays stuck on the straggler.
+        gz = GzkpMsm(bls12_381_g1, 255, V100, window=10)
+        gz_sparse = gz.estimate_seconds(n, sparse)
+        gz_dense = gz.estimate_seconds(n, dense)
+        gz_penalty = gz_sparse / gz_dense
+        assert gz_penalty < bp_penalty
+
+    def test_no_lb_variant_slower_on_sparse(self):
+        """Figure 10: load balancing is what rescues sparse inputs."""
+        n = 1 << 20
+        gz = GzkpMsm(bls12_381_g1, 255, V100, window=10)
+        no_lb = GzkpMsm(bls12_381_g1, 255, V100, window=10,
+                        load_balanced=False)
+        sparse = DigitStats.sparse_model(n, 255, 10, 0.35, 0.35)
+        assert no_lb.estimate_seconds(n, sparse) > gz.estimate_seconds(n, sparse)
+
+    def test_1080ti_slower(self):
+        gz_v = GzkpMsm(bls12_381_g1, 255, V100)
+        gz_p = GzkpMsm(bls12_381_g1, 255, GTX1080TI)
+        n = 1 << 20
+        assert gz_p.estimate_seconds(n) > 2 * gz_v.estimate_seconds(n)
+
+    def test_cpu_msm_much_slower_than_gzkp(self):
+        cpu = CpuMsm(bn128_g1, 254, XEON_5117)
+        gz = GzkpMsm(bn128_g1, 254, V100)
+        n = 1 << 22
+        # Table 7 256-bit: 18x - 33x.
+        ratio = cpu.estimate_seconds(n) / gz.estimate_seconds(n)
+        assert 10 < ratio < 60

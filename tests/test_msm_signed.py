@@ -1,0 +1,90 @@
+"""Tests for the signed-digit extension (bucket halving)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import bn128_g1
+from repro.errors import MsmError
+from repro.msm import naive_msm
+from repro.msm.signed import SignedConsolidatedMsm, signed_digits
+
+G = bn128_g1
+L = 254
+
+
+class TestSignedDigits:
+    @settings(max_examples=60, deadline=None)
+    @given(s=st.integers(min_value=0, max_value=(1 << 254) - 1),
+           k=st.integers(min_value=2, max_value=20))
+    def test_reconstruction_property(self, s, k):
+        digits = signed_digits(s, 254, k)
+        assert sum(d << (t * k) for t, d in enumerate(digits)) == s
+
+    @settings(max_examples=60, deadline=None)
+    @given(s=st.integers(min_value=0, max_value=(1 << 254) - 1),
+           k=st.integers(min_value=2, max_value=20))
+    def test_digit_bound_property(self, s, k):
+        half = 1 << (k - 1)
+        for d in signed_digits(s, 254, k):
+            assert -half < d <= half
+
+    def test_zero(self):
+        assert all(d == 0 for d in signed_digits(0, 64, 4))
+
+    def test_carry_chain(self):
+        # All-max digits force carries all the way up.
+        s = (1 << 64) - 1
+        digits = signed_digits(s, 64, 4)
+        assert sum(d << (4 * t) for t, d in enumerate(digits)) == s
+        assert digits[-1] == 1  # the final carry window
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(MsmError):
+            signed_digits(-1, 64, 4)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(MsmError):
+            signed_digits(5, 64, 0)
+
+
+class TestSignedMsm:
+    def _inputs(self, n, seed):
+        rng = random.Random(seed)
+        return ([rng.randrange(G.order) for _ in range(n)],
+                [G.random_point(rng) for _ in range(n)])
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_matches_naive(self, k):
+        scalars, points = self._inputs(16, seed=k)
+        engine = SignedConsolidatedMsm(G, L, window=k)
+        assert engine.compute(scalars, points) == naive_msm(G, scalars, points)
+
+    def test_half_the_buckets(self):
+        assert SignedConsolidatedMsm(G, L, window=8).n_buckets == 128
+
+    def test_sparse_and_edges(self):
+        scalars = [0, 1, G.order - 1, 1, 0]
+        rng = random.Random(7)
+        points = [G.random_point(rng) for _ in range(5)]
+        engine = SignedConsolidatedMsm(G, L, window=4)
+        assert engine.compute(scalars, points) == naive_msm(G, scalars, points)
+
+    def test_empty(self):
+        assert SignedConsolidatedMsm(G, L, window=4).compute([], []) is None
+
+    def test_window_too_small(self):
+        with pytest.raises(MsmError):
+            SignedConsolidatedMsm(G, L, window=1)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_random_property(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 10)
+        scalars = [rng.randrange(G.order) for _ in range(n)]
+        points = [G.random_point(rng) for _ in range(n)]
+        engine = SignedConsolidatedMsm(G, L, window=rng.randrange(3, 9))
+        assert engine.compute(scalars, points) == naive_msm(G, scalars, points)

@@ -1,0 +1,153 @@
+"""Tests for dense polynomial arithmetic, and cross-validation of the
+POLY stage against textbook polynomial algebra."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.ff import ALT_BN128_R
+from repro.ff.poly import Polynomial
+from repro.gpusim import V100
+from repro.ntt import GzkpNtt, PolyStage, intt
+
+F = ALT_BN128_R
+
+
+def rand_poly(deg, seed=0):
+    rng = random.Random(seed)
+    return Polynomial(F, [rng.randrange(F.modulus) for _ in range(deg + 1)])
+
+
+class TestStructure:
+    def test_trim_and_zero(self):
+        assert Polynomial(F, [1, 2, 0, 0]).coeffs == (1, 2)
+        assert Polynomial(F, [0, 0]).is_zero()
+        assert Polynomial.zero(F).degree == -1
+
+    def test_constructors(self):
+        assert Polynomial.one(F).coeffs == (1,)
+        assert Polynomial.x_power(F, 3).coeffs == (0, 0, 0, 1)
+        z = Polynomial.vanishing(F, 4)
+        assert z.degree == 4
+        assert z.evaluate(1) == 0
+
+    def test_immutability(self):
+        p = rand_poly(3)
+        with pytest.raises(AttributeError):
+            p.coeffs = ()
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = rand_poly(5, 1), rand_poly(3, 2)
+        assert (a + b) - b == a
+        assert (a - a).is_zero()
+
+    def test_mul_matches_schoolbook(self):
+        a, b = rand_poly(20, 3), rand_poly(17, 4)
+        assert a * b == a._mul_schoolbook(b)
+
+    def test_ntt_mul_used_for_large(self):
+        a, b = rand_poly(40, 5), rand_poly(40, 6)
+        prod = a * b
+        assert prod.degree == 80
+        # Check at a random point.
+        x = 0xABCDEF
+        assert prod.evaluate(x) == (
+            a.evaluate(x) * b.evaluate(x) % F.modulus
+        )
+
+    def test_scalar_mul(self):
+        a = rand_poly(4, 7)
+        assert (3 * a).evaluate(5) == 3 * a.evaluate(5) % F.modulus
+
+    def test_mul_by_zero(self):
+        assert (rand_poly(4, 8) * Polynomial.zero(F)).is_zero()
+
+    def test_divmod(self):
+        a, d = rand_poly(23, 9), rand_poly(7, 10)
+        q, r = a.divmod(d)
+        assert q * d + r == a
+        assert r.degree < d.degree
+
+    def test_exact_division(self):
+        q_true, d = rand_poly(9, 11), rand_poly(6, 12)
+        a = q_true * d
+        q, r = a.divmod(d)
+        assert r.is_zero()
+        assert q == q_true
+
+    def test_division_by_zero(self):
+        with pytest.raises(FieldError):
+            rand_poly(3, 13).divmod(Polynomial.zero(F))
+
+    def test_field_mismatch(self):
+        from repro.ff import BLS12_381_R
+
+        with pytest.raises(FieldError):
+            rand_poly(2) + Polynomial(BLS12_381_R, [1])
+
+
+class TestEvaluationDomain:
+    def test_domain_roundtrip(self):
+        a = rand_poly(15, 14)
+        evals = a.evaluate_on_domain(16)
+        assert Polynomial.interpolate_on_domain(F, evals) == a
+
+    def test_domain_values_match_horner(self):
+        a = rand_poly(7, 15)
+        omega = F.root_of_unity(8)
+        evals = a.evaluate_on_domain(8)
+        for i in range(8):
+            assert evals[i] == a.evaluate(pow(omega, i, F.modulus))
+
+    def test_oversized_degree_rejected(self):
+        with pytest.raises(FieldError):
+            rand_poly(8, 16).evaluate_on_domain(8)
+
+    def test_vanishing_is_zero_on_domain(self):
+        z = Polynomial.vanishing(F, 8)
+        omega = F.root_of_unity(8)
+        for i in range(8):
+            assert z.evaluate(pow(omega, i, F.modulus)) == 0
+
+
+class TestPolyStageCrossValidation:
+    """The seven-NTT pipeline must agree with textbook algebra:
+    H = (A*B - C) / Z exactly."""
+
+    def test_h_matches_polynomial_division(self):
+        n = 16
+        rng = random.Random(17)
+        a_ev = [rng.randrange(F.modulus) for _ in range(n)]
+        b_ev = [rng.randrange(F.modulus) for _ in range(n)]
+        c_ev = [x * y % F.modulus for x, y in zip(a_ev, b_ev)]
+
+        stage = PolyStage(F, GzkpNtt(F, V100))
+        h_pipeline = Polynomial(F, stage.compute_h(a_ev, b_ev, c_ev))
+
+        a_poly = Polynomial(F, intt(F, a_ev))
+        b_poly = Polynomial(F, intt(F, b_ev))
+        c_poly = Polynomial(F, intt(F, c_ev))
+        numerator = a_poly * b_poly - c_poly
+        q, r = numerator.divmod(Polynomial.vanishing(F, n))
+        assert r.is_zero()
+        assert h_pipeline == q
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_ring_axioms_property(seed):
+    rng = random.Random(seed)
+    a = Polynomial(F, [rng.randrange(F.modulus)
+                       for _ in range(rng.randrange(1, 10))])
+    b = Polynomial(F, [rng.randrange(F.modulus)
+                       for _ in range(rng.randrange(1, 10))])
+    c = Polynomial(F, [rng.randrange(F.modulus)
+                       for _ in range(rng.randrange(1, 10))])
+    assert a * b == b * a
+    assert a * (b + c) == a * b + a * c
+    assert (a * b) * c == a * (b * c)

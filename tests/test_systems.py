@@ -1,0 +1,163 @@
+"""Tests for the end-to-end system models (Tables 2-4 shapes)."""
+
+import pytest
+
+from repro.circuits import ZCASH_WORKLOADS, ZKSNARK_WORKLOADS, workload
+from repro.systems import (
+    BellmanSystem,
+    BellpersonSystem,
+    GzkpSystem,
+    LibsnarkSystem,
+    MinaSystem,
+    best_cpu_system,
+    best_gpu_baseline,
+)
+
+
+class TestSystemConstruction:
+    def test_best_cpu_picks(self):
+        assert best_cpu_system("MNT4753").name == "libsnark"
+        assert best_cpu_system("BLS12-381").name == "bellman"
+
+    def test_best_gpu_picks(self):
+        assert best_gpu_baseline("MNT4753").name == "MINA"
+        assert best_gpu_baseline("BLS12-381").name == "bellperson"
+        with pytest.raises(ValueError):
+            best_gpu_baseline("ALT-BN128")
+
+    def test_bad_gpu_count(self):
+        with pytest.raises(ValueError):
+            GzkpSystem("BLS12-381", n_gpus=0)
+        with pytest.raises(ValueError):
+            BellpersonSystem(n_gpus=0)
+
+
+class TestProofShape:
+    def test_poly_is_seven_ntts(self):
+        gz = GzkpSystem("BLS12-381")
+        w = workload("Sapling_Spend")
+        single = gz.ntt_seconds(w.domain_size)
+        assert gz.poly_stage_seconds(w) == pytest.approx(7 * single)
+
+    def test_timings_positive_and_total(self):
+        gz = GzkpSystem("MNT4753")
+        t = gz.prove_seconds(workload("AES"))
+        assert t.poly_seconds > 0
+        assert t.msm_seconds > 0
+        assert t.total_seconds == t.poly_seconds + t.msm_seconds
+
+
+class TestTable2Shapes:
+    """The orderings Table 2 establishes, checked cell-free."""
+
+    @pytest.fixture(scope="class")
+    def timings(self):
+        systems = {
+            "libsnark": LibsnarkSystem("MNT4753"),
+            "MINA": MinaSystem("MNT4753"),
+            "GZKP": GzkpSystem("MNT4753"),
+        }
+        return {
+            name: {w: s.prove_seconds(ZKSNARK_WORKLOADS[w])
+                   for w in ZKSNARK_WORKLOADS}
+            for name, s in systems.items()
+        }
+
+    def test_gzkp_fastest_everywhere(self, timings):
+        for w in ZKSNARK_WORKLOADS:
+            gz = timings["GZKP"][w].total_seconds
+            assert gz < timings["libsnark"][w].total_seconds
+            assert gz < timings["MINA"][w].total_seconds
+
+    def test_order_of_magnitude_speedups(self, timings):
+        """Paper: 16.3x-78.2x over CPU, 14.0x-48.1x over MINA."""
+        for w in ZKSNARK_WORKLOADS:
+            gz = timings["GZKP"][w].total_seconds
+            assert timings["libsnark"][w].total_seconds / gz > 10
+            assert timings["MINA"][w].total_seconds / gz > 5
+
+    def test_mina_limited_improvement_on_sparse(self, timings):
+        """§5.2: 'MINA provides quite limited improvement over the best
+        CPU solution' on real-world sparse workloads."""
+        for w in ZKSNARK_WORKLOADS:
+            ratio = (timings["libsnark"][w].total_seconds
+                     / timings["MINA"][w].total_seconds)
+            assert ratio < 4.0  # far from GZKP's 16x-78x
+
+    def test_mina_poly_equals_libsnark_poly(self, timings):
+        """MINA only accelerates MSM; its POLY time is libsnark's."""
+        for w in ZKSNARK_WORKLOADS:
+            assert timings["MINA"][w].poly_seconds == pytest.approx(
+                timings["libsnark"][w].poly_seconds
+            )
+
+
+class TestTable3Shapes:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        systems = {
+            "bellman": BellmanSystem("BLS12-381"),
+            "bellperson": BellpersonSystem("BLS12-381"),
+            "GZKP": GzkpSystem("BLS12-381"),
+        }
+        return {
+            name: {w: s.prove_seconds(ZCASH_WORKLOADS[w])
+                   for w in ZCASH_WORKLOADS}
+            for name, s in systems.items()
+        }
+
+    def test_gzkp_fastest(self, timings):
+        for w in ZCASH_WORKLOADS:
+            gz = timings["GZKP"][w].total_seconds
+            assert gz < timings["bellman"][w].total_seconds
+            assert gz < timings["bellperson"][w].total_seconds
+
+    def test_msm_improvement_drives_the_win(self, timings):
+        """§5.2: GZKP improves 'especially... the more time-consuming
+        MSM stage' — by ~8x vs bellperson on Sprout."""
+        sprout_bp = timings["bellperson"]["Sprout"]
+        sprout_gz = timings["GZKP"]["Sprout"]
+        assert sprout_bp.msm_seconds / sprout_gz.msm_seconds > 4
+
+    def test_shielded_transaction_speedup(self, timings):
+        """Paper: a shielded transaction (Spend + Output mix) is 37.1x
+        faster than bellman and 9.2x faster than bellperson."""
+        def tx(name):
+            t = timings[name]
+            return (t["Sapling_Spend"].total_seconds
+                    + t["Sapling_Output"].total_seconds)
+
+        assert tx("bellman") / tx("GZKP") > 10
+        assert tx("bellperson") / tx("GZKP") > 4
+
+
+class TestTable4Shapes:
+    def test_multi_gpu_helps_gzkp(self):
+        single = GzkpSystem("BLS12-381", n_gpus=1)
+        quad = GzkpSystem("BLS12-381", n_gpus=4)
+        w = workload("Sprout")
+        t1 = single.prove_seconds(w).total_seconds
+        t4 = quad.prove_seconds(w).total_seconds
+        assert 1.5 < t1 / t4 < 4.0  # paper: ~2.1x average, best on Sprout
+
+    def test_small_workloads_scale_worse(self):
+        single = GzkpSystem("BLS12-381", n_gpus=1)
+        quad = GzkpSystem("BLS12-381", n_gpus=4)
+        gains = {}
+        for name in ("Sapling_Output", "Sprout"):
+            w = workload(name)
+            gains[name] = (single.prove_seconds(w).total_seconds
+                           / quad.prove_seconds(w).total_seconds)
+        assert gains["Sprout"] > gains["Sapling_Output"]
+
+    def test_gzkp_scales_better_than_bellperson(self):
+        """Paper: 'due to better scalability, GZKP achieves on average
+        13.2x speedup' on 4 cards (vs 8.7x on one)."""
+        w = workload("Sprout")
+        gz4 = GzkpSystem("BLS12-381", n_gpus=4).prove_seconds(w)
+        bp4 = BellpersonSystem(n_gpus=4).prove_seconds(w)
+        gz1 = GzkpSystem("BLS12-381").prove_seconds(w)
+        bp1 = BellpersonSystem().prove_seconds(w)
+        speedup_4 = bp4.total_seconds / gz4.total_seconds
+        speedup_1 = bp1.total_seconds / gz1.total_seconds
+        assert speedup_4 > speedup_1

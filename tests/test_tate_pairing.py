@@ -1,0 +1,79 @@
+"""Tests for the MNT4753-surrogate Tate pairing (the 753-bit curve's
+real verification substrate)."""
+
+import pytest
+
+from repro.curves import mnt4753_g1, mnt4753_g2_ready, mnt4753_pairing
+from repro.errors import CurveError
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return mnt4753_pairing()
+
+
+@pytest.fixture(scope="module")
+def base(engine):
+    g2 = mnt4753_g2_ready()
+    e = engine.pairing(mnt4753_g1.generator, g2.generator)
+    return g2, e
+
+
+class TestTatePairing:
+    def test_non_degenerate(self, engine, base):
+        _, e = base
+        assert e != engine.field.one
+
+    def test_value_in_mu_r(self, engine, base):
+        """The reduced pairing lands in the order-r subgroup of Fq2*."""
+        _, e = base
+        assert e ** engine.r == engine.field.one
+
+    def test_bilinear_left(self, engine, base):
+        g2, e = base
+        p2 = mnt4753_g1.scalar_mul(2, mnt4753_g1.generator)
+        assert engine.pairing(p2, g2.generator) == e * e
+
+    def test_bilinear_right(self, engine, base):
+        g2, e = base
+        q3 = g2.scalar_mul(3, g2.generator)
+        assert engine.pairing(mnt4753_g1.generator, q3) == e ** 3
+
+    def test_bilinear_both(self, engine, base):
+        g2, e = base
+        p5 = mnt4753_g1.scalar_mul(5, mnt4753_g1.generator)
+        q2 = g2.scalar_mul(2, g2.generator)
+        assert engine.pairing(p5, q2) == e ** 10
+
+    def test_negation_inverts(self, engine, base):
+        g2, e = base
+        pneg = mnt4753_g1.neg(mnt4753_g1.generator)
+        assert engine.pairing(pneg, g2.generator) == e.inverse()
+
+    def test_infinity_maps_to_one(self, engine, base):
+        g2, _ = base
+        assert engine.pairing(None, g2.generator) == engine.field.one
+        assert engine.pairing(mnt4753_g1.generator, None) == engine.field.one
+
+    def test_product_check(self, engine, base):
+        g2, _ = base
+        pairs = [
+            (mnt4753_g1.generator, g2.generator),
+            (mnt4753_g1.neg(mnt4753_g1.generator), g2.generator),
+        ]
+        assert engine.pairing_product_is_one(pairs)
+        bad = [
+            (mnt4753_g1.generator, g2.generator),
+            (mnt4753_g1.generator, g2.generator),
+        ]
+        assert not engine.pairing_product_is_one(bad)
+
+    def test_miller_loop_rejects_equal_points(self, engine):
+        embedded = engine.embed_g1(mnt4753_g1.generator)
+        with pytest.raises(CurveError):
+            engine.miller_loop(embedded, embedded)
+
+    def test_engine_cached(self):
+        from repro.curves.tate import mnt4753_pairing as factory
+
+        assert factory() is factory()

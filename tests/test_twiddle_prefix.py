@@ -1,0 +1,132 @@
+"""Tests for twiddle strategies (§5.3) and the parallel prefix-sum
+bucket reduction (§4.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.curves import bn128_g1
+from repro.errors import NttError
+from repro.ff import ALT_BN128_R, MNT4753_R
+from repro.msm import bucket_reduce
+from repro.msm.prefix import parallel_bucket_reduce
+from repro.ntt.twiddle import (
+    FULL,
+    RECOMPUTE,
+    UNIQUE,
+    TwiddleTable,
+    strategy_stats,
+)
+
+F = ALT_BN128_R
+
+
+class TestTwiddleTable:
+    def test_values_match_direct_powers(self):
+        n = 64
+        table = TwiddleTable(F, n)
+        omega = F.root_of_unity(n)
+        for i in range(6):
+            for j in range(1 << i):
+                expected = pow(omega, j * (n >> (i + 1)), F.modulus)
+                assert table.lookup(i, j) == expected
+
+    def test_lookup_wraps_offset(self):
+        table = TwiddleTable(F, 16)
+        # Offsets are taken mod 2^i (the in-block butterfly index).
+        assert table.lookup(2, 1) == table.lookup(2, 5)
+
+    def test_storage_is_n(self):
+        assert TwiddleTable(F, 256).storage_elements() == 256
+
+    def test_bad_size(self):
+        with pytest.raises(NttError):
+            TwiddleTable(F, 24)
+
+    def test_iteration_out_of_range(self):
+        with pytest.raises(NttError):
+            TwiddleTable(F, 16).lookup(4, 0)
+
+    def test_ntt_with_table_matches_reference(self):
+        """Drive the reference butterfly loop from the table."""
+        from repro.ntt import bit_reverse_permute, ntt
+
+        n = 128
+        rng = random.Random(0)
+        values = [rng.randrange(F.modulus) for _ in range(n)]
+        table = TwiddleTable(F, n)
+        a = list(values)
+        bit_reverse_permute(a)
+        p = F.modulus
+        log_n = 7
+        for i in range(log_n):
+            half = 1 << i
+            for start in range(0, n, 2 * half):
+                for j in range(half):
+                    w = table.lookup(i, j)
+                    u = a[start + j]
+                    v = a[start + j + half] * w % p
+                    a[start + j] = (u + v) % p
+                    a[start + j + half] = (u - v) % p
+        assert a == ntt(F, values)
+
+
+class TestStrategyStats:
+    def test_paper_full_table_blowup(self):
+        """§5.3: full precomputation at 2^24 is 16x the memory — for
+        753-bit elements that is log N / 2 = 12x-16x the input vector,
+        'up to 24 GB'."""
+        n = 1 << 24
+        elem = MNT4753_R.limbs64 * 8
+        stats = strategy_stats(FULL, n, elem)
+        assert stats["storage_vs_input"] == 12.0  # (N/2 * 24) / N
+        assert stats["storage_bytes"] >= 18 * 2**30  # "up to 24 GB"
+
+    def test_unique_table_linear(self):
+        stats = strategy_stats(UNIQUE, 1 << 24, 32)
+        assert stats["storage_vs_input"] == 1.0
+        assert stats["extra_muls"] == 0
+
+    def test_recompute_costs_muls_not_memory(self):
+        n = 1 << 20
+        stats = strategy_stats(RECOMPUTE, n, 96)
+        assert stats["storage_bytes"] == 0
+        assert stats["extra_muls"] == (n // 2) * 20
+
+
+class TestParallelBucketReduce:
+    def _buckets(self, m, seed=0):
+        rng = random.Random(seed)
+        return [
+            bn128_g1.to_jacobian(bn128_g1.random_point(rng))
+            for _ in range(m)
+        ]
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 7, 8, 15, 16])
+    def test_matches_serial(self, m):
+        buckets = self._buckets(m, seed=m)
+        serial = bucket_reduce(bn128_g1, buckets)
+        parallel, _ = parallel_bucket_reduce(bn128_g1, buckets)
+        assert bn128_g1.from_jacobian(parallel) == (
+            bn128_g1.from_jacobian(serial)
+        )
+
+    def test_empty(self):
+        result, profile = parallel_bucket_reduce(bn128_g1, [])
+        assert bn128_g1.jis_infinity(result)
+        assert profile.total_padds == 0
+
+    def test_logarithmic_span(self):
+        """The point of the scan: critical path O(log m), not O(m)."""
+        for m in (16, 64, 256):
+            _, profile = parallel_bucket_reduce(bn128_g1, self._buckets(m))
+            assert profile.span_rounds <= 2 * math.ceil(math.log2(m)) + 2
+            # The serial method's span IS its work: 2m PADDs.
+            assert profile.span_rounds < 2 * m
+
+    def test_work_bounded(self):
+        m = 64
+        _, profile = parallel_bucket_reduce(bn128_g1, self._buckets(m))
+        # Hillis-Steele scan work is O(m log m); far below m^2.
+        assert profile.total_padds <= m * (math.ceil(math.log2(m)) + 2)
