@@ -1,0 +1,133 @@
+"""The :class:`ComputeBackend` protocol: batch field and curve ops.
+
+Every hot path in the reproduction (NTT butterfly sweeps, MSM bucket
+accumulation, polynomial pointwise passes) expresses its inner loop as a
+*batch* operation against a backend instead of a per-element Python
+loop. A backend changes *how* the math runs, never *what* is computed or
+counted: all implementations must be bit-exact against the reference
+int path, and op-count emission stays at the call sites (or, for the
+fused NTT sweeps, is reproduced exactly by the backend).
+
+This base class is itself a complete backend: every method has a
+pure-Python default that preserves today's exact evaluation order, so
+:class:`~repro.backend.pybackend.PythonBackend` is simply this class
+with a name. Vectorized backends override the methods where batching
+pays (see :mod:`repro.backend.numpy_limb`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ComputeBackend"]
+
+
+class ComputeBackend:
+    """Batch compute interface shared by NTT, MSM and polynomial paths.
+
+    Field ops take a :class:`~repro.ff.primefield.PrimeField` and plain
+    canonical ints; curve ops take a
+    :class:`~repro.curves.weierstrass.CurveGroup` and its point tuples.
+    Methods never mutate their inputs unless documented (bucket
+    accumulation mutates the bucket list in place, matching the MSM
+    engines' usage).
+    """
+
+    name = "abstract"
+    #: True when :meth:`ntt` runs a fused whole-vector sweep that the
+    #: batched executor may substitute for its per-group schedule.
+    fuses_ntt_sweeps = False
+
+    # -- batch field arithmetic -------------------------------------------------
+
+    def vadd(self, field, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+        p = field.modulus
+        return [(a + b) % p for a, b in zip(xs, ys)]
+
+    def vsub(self, field, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+        p = field.modulus
+        return [(a - b) % p for a, b in zip(xs, ys)]
+
+    def vmul(self, field, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+        p = field.modulus
+        return [a * b % p for a, b in zip(xs, ys)]
+
+    def vneg(self, field, xs: Sequence[int]) -> List[int]:
+        p = field.modulus
+        return [(-a) % p for a in xs]
+
+    def vscale(self, field, xs: Sequence[int], k: int) -> List[int]:
+        p = field.modulus
+        k %= p
+        return [a * k % p for a in xs]
+
+    def vmul_powers(self, field, xs: Sequence[int], g: int) -> List[int]:
+        """Element i scaled by g^i (coset scaling of the POLY stage)."""
+        p = field.modulus
+        out = []
+        acc = 1
+        for v in xs:
+            out.append(v * acc % p)
+            acc = acc * g % p
+        return out
+
+    def batch_inv(self, field, xs: Sequence[int]) -> List[int]:
+        """Montgomery's trick: one inversion plus 3(n-1) multiplications."""
+        return field.batch_inv(xs)
+
+    # -- fused NTT sweeps -------------------------------------------------------
+
+    def ntt(self, field, values: Sequence[int], omega: Optional[int] = None,
+            counter=None) -> List[int]:
+        """Full forward butterfly sweep, natural order in and out.
+
+        Byte-identical to :func:`repro.ntt.reference.ntt` (which is the
+        default route into this method), including the op counts it
+        emits: per iteration N/2 butterflies, N/2 fr_muls, N fr_adds.
+        """
+        from repro.ntt.reference import _ntt_inplace
+
+        a = [v % field.modulus for v in values]
+        if omega is None:
+            omega = field.root_of_unity(len(a))
+        _ntt_inplace(field, a, omega, counter)
+        return a
+
+    def intt(self, field, values: Sequence[int], counter=None) -> List[int]:
+        """Inverse sweep including the 1/N scale (counts fr_mul N)."""
+        a = self.ntt(field, values, omega=field.inv_root_of_unity(len(values)),
+                     counter=counter)
+        n = len(a)
+        n_inv = field.inv(n)
+        p = field.modulus
+        for i in range(n):
+            a[i] = a[i] * n_inv % p
+        if counter is not None:
+            counter.count("fr_mul", n)
+        return a
+
+    # -- batch curve ops (Jacobian) ---------------------------------------------
+
+    def batch_jdouble(self, group, points: Sequence) -> List:
+        """One doubling of every point (a fold step of the MSM engines)."""
+        return [group.jdouble(p) for p in points]
+
+    def batch_jadd(self, group, ps: Sequence, qs: Sequence) -> List:
+        """Pairwise Jacobian addition of two equal-length point rows."""
+        return [group.jadd(p, q) for p, q in zip(ps, qs)]
+
+    def batch_jmixed_add(self, group, ps: Sequence, qs: Sequence) -> List:
+        """Pairwise Jacobian += affine addition."""
+        return [group.jmixed_add(p, q) for p, q in zip(ps, qs)]
+
+    def accumulate_buckets(self, group, buckets: List,
+                           entries: Sequence[Tuple[int, object]]) -> List:
+        """Point-merging: fold (bucket index, affine point) entries into
+        ``buckets`` in order, in place. The entry order is the engines'
+        original scalar order, so results and counts are unchanged."""
+        for idx, point in entries:
+            buckets[idx] = group.jmixed_add(buckets[idx], point)
+        return buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

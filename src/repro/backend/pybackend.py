@@ -1,0 +1,19 @@
+"""The pure-Python backend: today's exact int path, extracted.
+
+Every method is inherited from :class:`~repro.backend.base.ComputeBackend`
+unchanged — the defaults *are* the historical per-element loops, moved
+behind the protocol. This backend is the behaviour-preserving baseline
+the vectorized engines are tested against, bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import ComputeBackend
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(ComputeBackend):
+    """Scalar big-int arithmetic, one element at a time."""
+
+    name = "python"

@@ -109,11 +109,13 @@ class Polynomial:
         size = 1 << (result_len - 1).bit_length()
         if result_len < 16 or size.bit_length() - 1 > self.field.two_adicity:
             return self._mul_schoolbook(other)
-        p = self.field.modulus
+        from repro.backend import get_backend
+
+        backend = get_backend(None)
         a = list(self.coeffs) + [0] * (size - len(self.coeffs))
         b = list(other.coeffs) + [0] * (size - len(other.coeffs))
         fa, fb = ntt(self.field, a), ntt(self.field, b)
-        prod = intt(self.field, [x * y % p for x, y in zip(fa, fb)])
+        prod = intt(self.field, backend.vmul(self.field, fa, fb))
         return Polynomial(self.field, prod[:result_len])
 
     def _mul_schoolbook(self, other: "Polynomial") -> "Polynomial":
@@ -128,9 +130,12 @@ class Polynomial:
 
     def divmod(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
         """Long division: self = q * divisor + r with deg r < deg d."""
+        from repro.backend import get_backend
+
         self._check(divisor)
         if divisor.is_zero():
             raise FieldError("polynomial division by zero")
+        backend = get_backend(None)
         p = self.field.modulus
         remainder = list(self.coeffs)
         d = list(divisor.coeffs)
@@ -140,9 +145,12 @@ class Polynomial:
             coeff = remainder[shift + len(d) - 1] * inv_lead % p
             quotient[shift] = coeff
             if coeff:
-                for i, dc in enumerate(d):
-                    remainder[shift + i] = (remainder[shift + i]
-                                            - coeff * dc) % p
+                # Each elimination row is one batched scale-and-subtract.
+                remainder[shift:shift + len(d)] = backend.vsub(
+                    self.field,
+                    remainder[shift:shift + len(d)],
+                    backend.vscale(self.field, d, coeff),
+                )
         return (Polynomial(self.field, quotient),
                 Polynomial(self.field, remainder[:len(d) - 1]))
 

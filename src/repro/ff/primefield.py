@@ -24,6 +24,14 @@ from repro.errors import FieldError
 
 __all__ = ["PrimeField", "FieldElement"]
 
+# Root-of-unity lookups are made on every NTT call; the answers depend
+# only on (modulus, order), so they are memoized here. Module-level
+# dicts (rather than instance attributes) keep PrimeField frozen and
+# let equal descriptors share entries.
+_NONRESIDUE_CACHE: dict = {}
+_ROOT_CACHE: dict = {}
+_INV_ROOT_CACHE: dict = {}
+
 
 def _two_adicity(n: int) -> int:
     """Number of trailing zero bits of ``n`` (largest s with 2^s | n)."""
@@ -150,15 +158,24 @@ class PrimeField:
         return pow(a, (self.modulus - 1) // 2, self.modulus) == 1
 
     def find_nonresidue(self) -> int:
-        """Smallest quadratic non-residue (deterministic)."""
+        """Smallest quadratic non-residue (deterministic, memoized)."""
+        cached = _NONRESIDUE_CACHE.get(self.modulus)
+        if cached is not None:
+            return cached
         for g in range(2, 1000):
             if not self.is_square(g):
+                _NONRESIDUE_CACHE[self.modulus] = g
                 return g
         raise FieldError(f"no small non-residue found in {self.name}")
 
     def root_of_unity(self, order: int) -> int:
         """A primitive ``order``-th root of unity; ``order`` must be a
-        power of two not exceeding the field's 2-adicity."""
+        power of two not exceeding the field's 2-adicity. Memoized —
+        every NTT call asks for it."""
+        key = (self.modulus, order)
+        cached = _ROOT_CACHE.get(key)
+        if cached is not None:
+            return cached
         if order <= 0 or order & (order - 1):
             raise FieldError(f"root order must be a power of two, got {order}")
         s = order.bit_length() - 1
@@ -168,11 +185,22 @@ class PrimeField:
                 f"requested 2^{s}"
             )
         if order == 1:
-            return self.one
-        g = self.find_nonresidue()
-        # g^((p-1)/2^s) has exact order 2^s because g is a non-residue.
-        root = pow(g, (self.modulus - 1) >> s, self.modulus)
+            root = self.one
+        else:
+            g = self.find_nonresidue()
+            # g^((p-1)/2^s) has exact order 2^s because g is a non-residue.
+            root = pow(g, (self.modulus - 1) >> s, self.modulus)
+        _ROOT_CACHE[key] = root
         return root
+
+    def inv_root_of_unity(self, order: int) -> int:
+        """The inverse of :meth:`root_of_unity` (INTT twiddle base),
+        memoized alongside it."""
+        key = (self.modulus, order)
+        cached = _INV_ROOT_CACHE.get(key)
+        if cached is None:
+            cached = _INV_ROOT_CACHE[key] = self.inv(self.root_of_unity(order))
+        return cached
 
     # -- element construction ----------------------------------------------
 

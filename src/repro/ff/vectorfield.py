@@ -46,6 +46,8 @@ class FieldVector:
         return len(self.values)
 
     def __getitem__(self, i):
+        if isinstance(i, slice):
+            return FieldVector(self.field, self.values[i])
         return self.values[i]
 
     def __setitem__(self, i, v: int) -> None:
@@ -60,9 +62,11 @@ class FieldVector:
                 self.field.modulus == other.field.modulus
                 and self.values == other.values
             )
-        if isinstance(other, list):
-            return self.values == other
         return NotImplemented
+
+    # Equality ignores identity-relevant state, so vectors are mutable
+    # sequences and must not be hashable.
+    __hash__ = None
 
     def copy(self) -> "FieldVector":
         return FieldVector(self.field, list(self.values))
@@ -75,31 +79,50 @@ class FieldVector:
         if len(self) != len(other):
             raise FieldError(f"length mismatch: {len(self)} vs {len(other)}")
 
-    def add(self, other: "FieldVector") -> "FieldVector":
+    @staticmethod
+    def _backend(backend):
+        from repro.backend import get_backend
+
+        return get_backend(backend)
+
+    def add(self, other: "FieldVector", backend=None) -> "FieldVector":
         self._check(other)
-        p = self.field.modulus
         return FieldVector(
-            self.field, [(a + b) % p for a, b in zip(self.values, other.values)]
+            self.field,
+            self._backend(backend).vadd(self.field, self.values, other.values),
         )
 
-    def sub(self, other: "FieldVector") -> "FieldVector":
+    def sub(self, other: "FieldVector", backend=None) -> "FieldVector":
         self._check(other)
-        p = self.field.modulus
         return FieldVector(
-            self.field, [(a - b) % p for a, b in zip(self.values, other.values)]
+            self.field,
+            self._backend(backend).vsub(self.field, self.values, other.values),
         )
 
-    def pointwise_mul(self, other: "FieldVector") -> "FieldVector":
+    def pointwise_mul(self, other: "FieldVector", backend=None) -> "FieldVector":
         self._check(other)
-        p = self.field.modulus
         return FieldVector(
-            self.field, [a * b % p for a, b in zip(self.values, other.values)]
+            self.field,
+            self._backend(backend).vmul(self.field, self.values, other.values),
         )
 
-    def scale(self, k: int) -> "FieldVector":
-        p = self.field.modulus
-        k %= p
-        return FieldVector(self.field, [v * k % p for v in self.values])
+    def scale(self, k: int, backend=None) -> "FieldVector":
+        return FieldVector(
+            self.field,
+            self._backend(backend).vscale(self.field, self.values, k),
+        )
+
+    def neg(self, backend=None) -> "FieldVector":
+        return FieldVector(
+            self.field, self._backend(backend).vneg(self.field, self.values)
+        )
+
+    def batch_inv(self, backend=None) -> "FieldVector":
+        """Montgomery-trick inversion of every (nonzero) element."""
+        return FieldVector(
+            self.field,
+            self._backend(backend).batch_inv(self.field, self.values),
+        )
 
     # -- GPU layout ----------------------------------------------------------------
 

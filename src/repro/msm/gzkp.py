@@ -72,7 +72,8 @@ class GzkpMsm:
                  interval: Optional[int] = None,
                  fq_mul_factor: float = 1.0,
                  load_balanced: bool = True,
-                 use_dfp_library: bool = True):
+                 use_dfp_library: bool = True,
+                 backend=None):
         self.group = group
         self.scalar_bits = scalar_bits
         self.device = device
@@ -83,6 +84,13 @@ class GzkpMsm:
         self.load_balanced = load_balanced
         #: disable for the pre-library breakdown variants (Figure 10)
         self.use_dfp_library = use_dfp_library
+        #: compute backend (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
+
+    def _compute_backend(self):
+        from repro.backend import get_backend
+
+        return get_backend(self.backend)
 
     # -- configuration --------------------------------------------------------------
 
@@ -139,18 +147,16 @@ class GzkpMsm:
         """Checkpoint table: row m holds 2^(m*M*k) * P_i for every point
         (row 0 is the input itself). Runs at system-setup time in GZKP —
         the point vector never changes for an application (§4.1)."""
+        backend = self._compute_backend()
         rows = [list(points)]
         n_checkpoints = math.ceil(cfg.n_windows / cfg.interval)
         step = cfg.interval * cfg.window  # doublings between checkpoints
         for _ in range(1, n_checkpoints):
             prev = rows[-1]
-            row = []
-            for p in prev:
-                jp = self.group.to_jacobian(p)
-                for _ in range(step):
-                    jp = self.group.jdouble(jp)
-                row.append(self.group.from_jacobian(jp))
-            rows.append(row)
+            jps = [self.group.to_jacobian(p) for p in prev]
+            for _ in range(step):  # whole row doubled per step (batch op)
+                jps = backend.batch_jdouble(self.group, jps)
+            rows.append([self.group.from_jacobian(jp) for jp in jps])
         return rows
 
     # -- functional execution --------------------------------------------------------------
@@ -168,14 +174,17 @@ class GzkpMsm:
             table = self.preprocess(points, cfg)
         if counter is not None:
             self.group.counter = counter
+        backend = self._compute_backend()
         try:
             o = self.group.ops
             infinity = (o.one, o.one, o.zero)
             k, m = cfg.window, cfg.interval
             n_buckets = (1 << k) - 1
-            # Sub-buckets indexed [residual w][digit - 1].
-            sub = [[infinity] * n_buckets for _ in range(m)]
+            # Sub-buckets indexed [residual w][digit - 1], flattened to
+            # one bucket array so the merge is a single batch call.
+            flat = [infinity] * (m * n_buckets)
             with _maybe_phase(counter, "point-merging"):
+                entries = []
                 for i, s in enumerate(scalars):
                     for t, d in enumerate(
                         scalar_digits(s, self.scalar_bits, k)
@@ -183,18 +192,19 @@ class GzkpMsm:
                         if not d:
                             continue
                         block, residual = divmod(t, m)
-                        sub[residual][d - 1] = self.group.jmixed_add(
-                            sub[residual][d - 1], table[block][i]
+                        entries.append(
+                            (residual * n_buckets + d - 1, table[block][i])
                         )
+                backend.accumulate_buckets(self.group, flat, entries)
+                sub = [flat[w * n_buckets:(w + 1) * n_buckets]
+                       for w in range(m)]
                 # Fold residual classes: B_d = sum_w 2^(w*k) B_{d,w}.
                 buckets = list(sub[m - 1])
                 for residual in range(m - 2, -1, -1):
                     for _ in range(k):
-                        buckets = [self.group.jdouble(b) for b in buckets]
-                    buckets = [
-                        self.group.jadd(b, s_b)
-                        for b, s_b in zip(buckets, sub[residual])
-                    ]
+                        buckets = backend.batch_jdouble(self.group, buckets)
+                    buckets = backend.batch_jadd(self.group, buckets,
+                                                 sub[residual])
             with _maybe_phase(counter, "bucket-reduction"):
                 total = bucket_reduce(self.group, buckets)
             return self.group.from_jacobian(total)

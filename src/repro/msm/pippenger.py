@@ -61,13 +61,16 @@ class SubMsmPippenger:
 
     def __init__(self, group: CurveGroup, scalar_bits: int, device: GpuDevice,
                  window: Optional[int] = None,
-                 fq_mul_factor: float = 1.0):
+                 fq_mul_factor: float = 1.0,
+                 backend=None):
         self.group = group
         self.scalar_bits = scalar_bits
         self.device = device
         self.window = window if window is not None else cost.BELLPERSON_MSM_WINDOW
         #: 1.0 for G1, ~3.0 for G2 (Fq2 muls cost ~3 Fq muls)
         self.fq_mul_factor = fq_mul_factor
+        #: compute backend (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
 
     # -- configuration -------------------------------------------------------
 
@@ -92,6 +95,9 @@ class SubMsmPippenger:
         check_msm_inputs(self.group, scalars, points)
         if not scalars:
             return None
+        from repro.backend import get_backend
+
+        backend = get_backend(self.backend)
         if counter is not None:
             self.group.counter = counter
         try:
@@ -106,14 +112,16 @@ class SubMsmPippenger:
                 sub_s = scalars[start:start + cfg.sub_msm_size]
                 sub_p = points[start:start + cfg.sub_msm_size]
                 for t in range(w):
-                    # Point-merging for window t of this sub-MSM.
+                    # Point-merging for window t of this sub-MSM, as one
+                    # batch-accumulation (entries keep the scalar order,
+                    # so results and counts match the serial loop).
                     buckets = [infinity] * ((1 << self.window) - 1)
+                    entries = []
                     for s, p in zip(sub_s, sub_p):
                         d = scalar_digits(s, self.scalar_bits, self.window)[t]
                         if d:
-                            buckets[d - 1] = self.group.jmixed_add(
-                                buckets[d - 1], p
-                            )
+                            entries.append((d - 1, p))
+                    backend.accumulate_buckets(self.group, buckets, entries)
                     # Bucket-reduction.
                     w_t = bucket_reduce(self.group, buckets)
                     window_totals[t] = self.group.jadd(window_totals[t], w_t)

@@ -31,17 +31,19 @@ class CpuNtt:
     #: extra modular muls per butterfly (the omega recomputation)
     REDUNDANT_MULS_PER_BUTTERFLY = 1
 
-    def __init__(self, field: PrimeField, device: CpuDevice):
+    def __init__(self, field: PrimeField, device: CpuDevice, backend=None):
         self.field = field
         self.device = device
+        #: compute backend (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
 
     def compute(self, values: Sequence[int],
                 counter: Optional[OpCounter] = None) -> List[int]:
-        return ntt(self.field, values, counter=counter)
+        return ntt(self.field, values, counter=counter, backend=self.backend)
 
     def compute_inverse(self, values: Sequence[int],
                         counter: Optional[OpCounter] = None) -> List[int]:
-        return intt(self.field, values, counter=counter)
+        return intt(self.field, values, counter=counter, backend=self.backend)
 
     def plan(self, n: int) -> Trace:
         log_n = GzkpNtt._log(n)

@@ -23,12 +23,24 @@ __all__ = ["run_batched_ntt"]
 
 def run_batched_ntt(field: PrimeField, values: Sequence[int], plan: BatchPlan,
                     omega: Optional[int] = None,
-                    counter: Optional[OpCounter] = None) -> List[int]:
+                    counter: Optional[OpCounter] = None,
+                    backend=None) -> List[int]:
     """Execute a forward NTT according to ``plan``.
 
     ``omega`` defaults to the primitive N-th root; pass its inverse (and
     post-scale by 1/N) for an inverse transform.
+
+    The ``python`` backend (the default) walks the plan's gather/
+    scatter schedule element by element — the geometry the performance
+    model reasons about. A backend with fused sweeps (``numpy``) runs
+    the whole transform in one batched engine call instead: the result
+    stays byte-identical and the emitted op-count totals are unchanged
+    (the plan only redistributes the same butterflies), so traces never
+    depend on the backend.
     """
+    from repro.backend import get_backend
+
+    be = get_backend(backend)
     a = [v % field.modulus for v in values]
     n = len(a)
     if n != plan.n:
@@ -36,6 +48,8 @@ def run_batched_ntt(field: PrimeField, values: Sequence[int], plan: BatchPlan,
     p = field.modulus
     if omega is None:
         omega = field.root_of_unity(n)
+    if be.fuses_ntt_sweeps:
+        return be.ntt(field, a, omega=omega, counter=counter)
 
     bit_reverse_permute(a)
     for batch in plan.batches:

@@ -51,10 +51,13 @@ class BaselineGpuNtt:
     """bellperson-model GPU NTT: functional execution + cost plan."""
 
     def __init__(self, field: PrimeField, device: GpuDevice,
-                 variant: Optional[BaselineNttVariant] = None):
+                 variant: Optional[BaselineNttVariant] = None,
+                 backend=None):
         self.field = field
         self.device = device
         self.variant = variant or BaselineNttVariant()
+        #: compute backend (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
 
     # -- functional execution -----------------------------------------------------
 
@@ -64,7 +67,8 @@ class BaselineGpuNtt:
         the schedule differs. Runs the fixed-8 batch plan."""
         plan = plan_batches(GzkpNtt._log(len(values)),
                             cost.BELLPERSON_NTT_BATCH_ITERS)
-        return run_batched_ntt(self.field, values, plan, counter=counter)
+        return run_batched_ntt(self.field, values, plan, counter=counter,
+                               backend=self.backend)
 
     # -- analytic plan ---------------------------------------------------------------
 

@@ -54,9 +54,11 @@ class GzkpNtt:
     #: minimum groups per block for full 32 B L2-line use with 8 B words
     MIN_GROUPS = 4
 
-    def __init__(self, field: PrimeField, device: GpuDevice):
+    def __init__(self, field: PrimeField, device: GpuDevice, backend=None):
         self.field = field
         self.device = device
+        #: compute backend (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
 
     # -- configuration ------------------------------------------------------------
 
@@ -104,19 +106,21 @@ class GzkpNtt:
         """Run the forward NTT with the GZKP schedule (ground-truth math,
         GPU-faithful gather/scatter order)."""
         return run_batched_ntt(self.field, values, self.batch_plan(len(values)),
-                               counter=counter)
+                               counter=counter, backend=self.backend)
 
     def compute_inverse(self, values: Sequence[int],
                         counter: Optional[OpCounter] = None) -> List[int]:
+        from repro.backend import get_backend
+
         n = len(values)
-        omega_inv = self.field.inv(self.field.root_of_unity(n))
+        omega_inv = self.field.inv_root_of_unity(n)
         out = run_batched_ntt(self.field, values, self.batch_plan(n),
-                              omega=omega_inv, counter=counter)
-        n_inv = self.field.inv(n)
-        p = self.field.modulus
+                              omega=omega_inv, counter=counter,
+                              backend=self.backend)
         if counter is not None:
             counter.count("fr_mul", n)
-        return [v * n_inv % p for v in out]
+        return get_backend(self.backend).vscale(self.field, out,
+                                                self.field.inv(n))
 
     # -- analytic plan --------------------------------------------------------------------
 

@@ -36,9 +36,16 @@ class PolyStage:
     CPU model) — the engines are interchangeable because they are all
     functionally exact."""
 
-    def __init__(self, field: PrimeField, engine):
+    def __init__(self, field: PrimeField, engine, backend=None):
         self.field = field
         self.engine = engine
+        #: compute backend (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
+
+    def _backend(self):
+        from repro.backend import get_backend
+
+        return get_backend(self.backend)
 
     # -- coset helpers ---------------------------------------------------------
 
@@ -49,12 +56,7 @@ class PolyStage:
 
     def _scale_by_powers(self, values: Sequence[int], g: int,
                          counter: Optional[OpCounter]) -> List[int]:
-        p = self.field.modulus
-        out = []
-        acc = 1
-        for v in values:
-            out.append(v * acc % p)
-            acc = acc * g % p
+        out = self._backend().vmul_powers(self.field, values, g)
         if counter is not None:
             counter.count("fr_mul", 2 * len(out))
         return out
@@ -100,10 +102,14 @@ class PolyStage:
 
         g = self._coset_generator()
         z_inv = self.field.inv((pow(g, n, p) - 1) % p)
-        h_coset = [
-            (av * bv - cv) % p * z_inv % p
-            for av, bv, cv in zip(a_coset, b_coset, c_coset)
-        ]
+        backend = self._backend()
+        h_coset = backend.vscale(
+            self.field,
+            backend.vsub(self.field,
+                         backend.vmul(self.field, a_coset, b_coset),
+                         c_coset),
+            z_inv,
+        )
         if counter is not None:
             counter.count("fr_mul", 2 * n)
             counter.count("fr_add", n)

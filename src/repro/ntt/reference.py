@@ -3,6 +3,12 @@
 Iterative decimation-in-time Cooley-Tukey over a prime field's 2-adic
 root of unity (Figure 2 of the paper). Every GPU-scheduled variant in
 this package must produce byte-identical results to these functions.
+
+``ntt``/``intt`` route through the compute-backend layer
+(:mod:`repro.backend`): the default ``python`` backend runs
+:func:`_ntt_inplace` below — the historical loop, unchanged — while
+vectorized backends run fused sweeps that are bit-identical and emit
+the same op counts.
 """
 
 from __future__ import annotations
@@ -33,35 +39,27 @@ def bit_reverse_permute(values: List) -> None:
 
 
 def ntt(field: PrimeField, values: Sequence[int],
-        counter: Optional[OpCounter] = None) -> List[int]:
+        counter: Optional[OpCounter] = None, backend=None) -> List[int]:
     """Forward NTT: evaluations of the polynomial with coefficients
     ``values`` at the powers of the primitive N-th root of unity.
 
     Natural-order input, natural-order output; O(N log N) butterflies.
+    ``backend`` accepts a :class:`~repro.backend.base.ComputeBackend`
+    (or name); ``None`` resolves via ``$REPRO_BACKEND``.
     """
-    a = [v % field.modulus for v in values]
-    n = len(a)
-    _check_size(n)
-    omega = field.root_of_unity(n)
-    _ntt_inplace(field, a, omega, counter)
-    return a
+    from repro.backend import get_backend
+
+    _check_size(len(values))
+    return get_backend(backend).ntt(field, values, counter=counter)
 
 
 def intt(field: PrimeField, values: Sequence[int],
-         counter: Optional[OpCounter] = None) -> List[int]:
+         counter: Optional[OpCounter] = None, backend=None) -> List[int]:
     """Inverse NTT: interpolates coefficients from evaluations."""
-    a = [v % field.modulus for v in values]
-    n = len(a)
-    _check_size(n)
-    omega_inv = field.inv(field.root_of_unity(n))
-    _ntt_inplace(field, a, omega_inv, counter)
-    n_inv = field.inv(n)
-    p = field.modulus
-    for i in range(n):
-        a[i] = a[i] * n_inv % p
-    if counter is not None:
-        counter.count("fr_mul", n)
-    return a
+    from repro.backend import get_backend
+
+    _check_size(len(values))
+    return get_backend(backend).intt(field, values, counter=counter)
 
 
 def _ntt_inplace(field: PrimeField, a: List[int], omega: int,

@@ -19,13 +19,13 @@ Three strategies compared by the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NttError
 from repro.ff.primefield import PrimeField
 
-__all__ = ["TwiddleTable", "TwiddleStrategy", "RECOMPUTE", "UNIQUE", "FULL",
-           "strategy_stats"]
+__all__ = ["TwiddleTable", "get_twiddle_table", "TwiddleStrategy",
+           "RECOMPUTE", "UNIQUE", "FULL", "strategy_stats"]
 
 
 class TwiddleTable:
@@ -37,12 +37,15 @@ class TwiddleTable:
     starting at offset 2^i (contiguous reads for the whole warp, §5.3).
     """
 
-    def __init__(self, field: PrimeField, n: int):
+    def __init__(self, field: PrimeField, n: int,
+                 omega: Optional[int] = None):
         if n <= 0 or n & (n - 1):
             raise NttError(f"twiddle table needs a power-of-two size, got {n}")
         self.field = field
         self.n = n
-        omega = field.root_of_unity(n)
+        if omega is None:
+            omega = field.root_of_unity(n)
+        self.omega = omega
         p = field.modulus
         self.values: List[int] = [1] * n
         log_n = n.bit_length() - 1
@@ -66,6 +69,27 @@ class TwiddleTable:
 
     def storage_elements(self) -> int:
         return self.n
+
+
+_TABLE_CACHE: Dict[Tuple[int, int, int], TwiddleTable] = {}
+
+
+def get_twiddle_table(field: PrimeField, n: int,
+                      omega: Optional[int] = None) -> TwiddleTable:
+    """Memoized :class:`TwiddleTable`, keyed by ``(modulus, n, omega)``.
+
+    Twiddles depend only on that triple, so forward and inverse tables
+    of every (field, scale) pair are built once per process — both the
+    scalar engines and the NumPy limb backend (which derives its
+    per-pass constant matrices from these values) share the entries.
+    """
+    if omega is None:
+        omega = field.root_of_unity(n)
+    key = (field.modulus, n, omega)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = _TABLE_CACHE[key] = TwiddleTable(field, n, omega)
+    return table
 
 
 @dataclass(frozen=True)

@@ -51,25 +51,34 @@ class Proof:
 class _ReferenceNttEngine:
     """Minimal NTT engine for the default prover (reference math)."""
 
-    def __init__(self, field):
+    def __init__(self, field, backend=None):
         self.field = field
+        self.backend = backend
 
     def compute(self, values, counter=None):
-        return ntt(self.field, values, counter=counter)
+        return ntt(self.field, values, counter=counter, backend=self.backend)
 
     def compute_inverse(self, values, counter=None):
-        return intt(self.field, values, counter=counter)
+        return intt(self.field, values, counter=counter, backend=self.backend)
 
 
 class Groth16Prover:
     """Proof generation for one (R1CS, proving key) pair."""
 
     def __init__(self, r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
-                 ntt_engine=None, msm_g1=None, msm_g2=None):
+                 ntt_engine=None, msm_g1=None, msm_g2=None, backend=None):
         self.r1cs = r1cs
         self.pk = pk
         self.curve = curve
-        self.poly = PolyStage(curve.fr, ntt_engine or _ReferenceNttEngine(curve.fr))
+        # `backend` (a ComputeBackend, name or None = $REPRO_BACKEND)
+        # reaches every math stage the prover owns: the default NTT
+        # engine and the POLY stage's pointwise passes. Caller-supplied
+        # engines carry their own backend choice.
+        self.poly = PolyStage(
+            curve.fr,
+            ntt_engine or _ReferenceNttEngine(curve.fr, backend=backend),
+            backend=backend,
+        )
         # MSM callables: (scalars, points) -> point. Default: direct sums.
         self._msm_g1 = msm_g1 or self._naive_msm_factory(curve.g1)
         self._msm_g2 = msm_g2 or self._naive_msm_factory(curve.g2)

@@ -40,9 +40,12 @@ class ZkpSystem:
     name = "abstract"
     platform = "none"
 
-    def __init__(self, curve_name: str):
+    def __init__(self, curve_name: str, backend=None):
         self.curve: CurvePair = CURVES[curve_name]
         self.scalar_bits = self.curve.fr.bits
+        #: compute backend handed to every functional engine the system
+        #: constructs (name, instance or None = $REPRO_BACKEND)
+        self.backend = backend
 
     # -- hooks -------------------------------------------------------------------
 

@@ -45,9 +45,9 @@ class _CpuSystem(ZkpSystem):
 
     platform = "CPU"
 
-    def __init__(self, curve_name: str):
-        super().__init__(curve_name)
-        self._ntt = CpuNtt(self.curve.fr, XEON_5117)
+    def __init__(self, curve_name: str, backend=None):
+        super().__init__(curve_name, backend=backend)
+        self._ntt = CpuNtt(self.curve.fr, XEON_5117, backend=backend)
         self._msm_g1 = CpuMsm(self.curve.g1, self.scalar_bits, XEON_5117)
         self._msm_g2 = CpuMsm(
             self.curve.g1, self.scalar_bits, XEON_5117,
@@ -88,9 +88,9 @@ class MinaSystem(ZkpSystem):
     platform = "GPU"
 
     def __init__(self, curve_name: str = "MNT4753",
-                 device: GpuDevice = V100):
-        super().__init__(curve_name)
-        self._ntt = CpuNtt(self.curve.fr, XEON_5117)
+                 device: GpuDevice = V100, backend=None):
+        super().__init__(curve_name, backend=backend)
+        self._ntt = CpuNtt(self.curve.fr, XEON_5117, backend=backend)
         self._msm_g1 = StrausMsm(self.curve.g1, self.scalar_bits, device)
         self._msm_g2 = StrausMsm(
             self.curve.g1, self.scalar_bits, device,
@@ -124,17 +124,19 @@ class BellpersonSystem(ZkpSystem):
     MULTI_GPU_EFFICIENCY = 0.5
 
     def __init__(self, curve_name: str = "BLS12-381",
-                 device: GpuDevice = V100, n_gpus: int = 1):
-        super().__init__(curve_name)
+                 device: GpuDevice = V100, n_gpus: int = 1, backend=None):
+        super().__init__(curve_name, backend=backend)
         if n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
         self.device = device
         self.n_gpus = n_gpus
-        self._ntt = BaselineGpuNtt(self.curve.fr, device)
-        self._msm_g1 = SubMsmPippenger(self.curve.g1, self.scalar_bits, device)
+        self._ntt = BaselineGpuNtt(self.curve.fr, device, backend=backend)
+        self._msm_g1 = SubMsmPippenger(self.curve.g1, self.scalar_bits, device,
+                                       backend=backend)
         self._msm_g2 = SubMsmPippenger(
             self.curve.g1, self.scalar_bits, device,
             fq_mul_factor=cost.G2_FQ_MUL_FACTOR,
+            backend=backend,
         )
 
     def ntt_seconds(self, n: int) -> float:
@@ -164,17 +166,19 @@ class GzkpSystem(ZkpSystem):
     platform = "GPU"
 
     def __init__(self, curve_name: str, device: GpuDevice = V100,
-                 n_gpus: int = 1):
-        super().__init__(curve_name)
+                 n_gpus: int = 1, backend=None):
+        super().__init__(curve_name, backend=backend)
         if n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
         self.device = device
         self.n_gpus = n_gpus
-        self._ntt = GzkpNtt(self.curve.fr, device)
-        self._msm_g1 = GzkpMsm(self.curve.g1, self.scalar_bits, device)
+        self._ntt = GzkpNtt(self.curve.fr, device, backend=backend)
+        self._msm_g1 = GzkpMsm(self.curve.g1, self.scalar_bits, device,
+                               backend=backend)
         self._msm_g2 = GzkpMsm(
             self.curve.g1, self.scalar_bits, device,
             fq_mul_factor=cost.G2_FQ_MUL_FACTOR,
+            backend=backend,
         )
 
     def ntt_seconds(self, n: int) -> float:

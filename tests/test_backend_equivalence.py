@@ -1,0 +1,194 @@
+"""Cross-backend equality: PythonBackend and NumpyLimbBackend must be
+bit-identical on every operation, every modulus, every size — backends
+change how the math runs, never what it computes or counts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import (
+    NumpyLimbBackend,
+    PythonBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.curves import bn128_g1
+from repro.ff import OpCounter
+from repro.ff.params import (
+    ALT_BN128_R,
+    BLS12_381_Q,
+    BLS12_381_R,
+    MNT4753_R,
+)
+from repro.msm import GzkpMsm, SubMsmPippenger, naive_msm
+from repro.ntt.gpu_gzkp import GzkpNtt
+from repro.ntt.reference import intt, ntt
+from repro.gpusim import V100
+
+PY = PythonBackend()
+NP = NumpyLimbBackend()
+
+#: the three bit-widths of the paper's curves (254/255-, 381-, 753-bit)
+FIELDS = [ALT_BN128_R, BLS12_381_R, BLS12_381_Q, MNT4753_R]
+#: NTT needs 2-adic fields: the three curves' scalar fields
+NTT_FIELDS = [ALT_BN128_R, BLS12_381_R, MNT4753_R]
+
+
+def rand_vec(field, n, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(field.modulus) for _ in range(n)]
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("n", [0, 1, 3, 64, 257])
+    def test_all_ops_match(self, field, n):
+        xs = rand_vec(field, n, seed=n * 7 + field.bits)
+        ys = rand_vec(field, n, seed=n * 13 + field.bits)
+        k = rand_vec(field, 1, seed=99)[0] if n else 3
+        assert NP.vadd(field, xs, ys) == PY.vadd(field, xs, ys)
+        assert NP.vsub(field, xs, ys) == PY.vsub(field, xs, ys)
+        assert NP.vmul(field, xs, ys) == PY.vmul(field, xs, ys)
+        assert NP.vneg(field, xs) == PY.vneg(field, xs)
+        assert NP.vscale(field, xs, k) == PY.vscale(field, xs, k)
+        assert NP.vmul_powers(field, xs, k) == PY.vmul_powers(field, xs, k)
+
+    @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
+    def test_batch_inv_matches(self, field):
+        xs = [v or 1 for v in rand_vec(field, 33, seed=5)]
+        assert NP.batch_inv(field, xs) == PY.batch_inv(field, xs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_vmul_property(self, data):
+        field = data.draw(st.sampled_from(FIELDS))
+        xs = data.draw(st.lists(
+            st.integers(min_value=0, max_value=field.modulus - 1),
+            min_size=1, max_size=40))
+        ys = [pow(x, 3, field.modulus) for x in xs]
+        expected = [a * b % field.modulus for a, b in zip(xs, ys)]
+        assert NP.vmul(field, xs, ys) == expected
+        assert PY.vmul(field, xs, ys) == expected
+
+
+class TestNttEquivalence:
+    @pytest.mark.parametrize("field", NTT_FIELDS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("log_n", [0, 1, 2, 5, 9])
+    def test_forward_matches(self, field, log_n):
+        vals = rand_vec(field, 1 << log_n, seed=log_n)
+        assert NP.ntt(field, vals) == PY.ntt(field, vals)
+
+    @pytest.mark.parametrize("field", NTT_FIELDS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("log_n", [1, 4, 8])
+    def test_roundtrip_both_backends(self, field, log_n):
+        vals = rand_vec(field, 1 << log_n, seed=31 + log_n)
+        for backend in (PY, NP):
+            assert backend.intt(field, backend.ntt(field, vals)) == vals
+        # ...and the mixed round trips agree too.
+        assert NP.intt(field, PY.ntt(field, vals)) == vals
+        assert PY.intt(field, NP.ntt(field, vals)) == vals
+
+    @pytest.mark.parametrize("field", NTT_FIELDS, ids=lambda f: f.name)
+    def test_counts_identical(self, field):
+        vals = rand_vec(field, 64, seed=3)
+        c_py, c_np = OpCounter(), OpCounter()
+        PY.ntt(field, vals, counter=c_py)
+        NP.ntt(field, vals, counter=c_np)
+        assert c_py.totals() == c_np.totals()
+        c_py, c_np = OpCounter(), OpCounter()
+        PY.intt(field, vals, counter=c_py)
+        NP.intt(field, vals, counter=c_np)
+        assert c_py.totals() == c_np.totals()
+
+    def test_reference_api_routes_backends(self):
+        field = BLS12_381_R
+        vals = rand_vec(field, 128, seed=8)
+        assert ntt(field, vals, backend="numpy") == ntt(field, vals,
+                                                        backend="python")
+        assert intt(field, vals, backend="numpy") == intt(field, vals,
+                                                          backend="python")
+
+    @pytest.mark.parametrize("field", NTT_FIELDS, ids=lambda f: f.name)
+    def test_gzkp_engine_backend_parity(self, field):
+        """The batched executor path (GZKP schedule) is bit-identical
+        and count-identical across backends."""
+        vals = rand_vec(field, 256, seed=17)
+        eng_py = GzkpNtt(field, V100, backend="python")
+        eng_np = GzkpNtt(field, V100, backend="numpy")
+        c_py, c_np = OpCounter(), OpCounter()
+        assert (eng_np.compute(vals, counter=c_np)
+                == eng_py.compute(vals, counter=c_py))
+        assert c_py.totals() == c_np.totals()
+        assert (eng_np.compute_inverse(vals)
+                == eng_py.compute_inverse(vals))
+
+
+class TestMsmEquivalence:
+    def _inputs(self, n=40, seed=2):
+        rng = random.Random(seed)
+        pts = [bn128_g1.random_point(rng) for _ in range(n)]
+        scs = [rng.randrange(bn128_g1.order) for _ in range(n)]
+        return scs, pts
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_pippenger_matches_oracle(self, backend):
+        scs, pts = self._inputs()
+        engine = SubMsmPippenger(bn128_g1, 254, V100, backend=backend)
+        assert engine.compute(scs, pts) == naive_msm(bn128_g1, scs, pts)
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_gzkp_matches_oracle(self, backend):
+        scs, pts = self._inputs(seed=9)
+        engine = GzkpMsm(bn128_g1, 254, V100, window=8, interval=4,
+                         backend=backend)
+        assert engine.compute(scs, pts) == naive_msm(bn128_g1, scs, pts)
+
+    def test_counts_identical_across_backends(self):
+        scs, pts = self._inputs(n=24, seed=4)
+        totals = []
+        for backend in ("python", "numpy"):
+            counter = OpCounter()
+            GzkpMsm(bn128_g1, 254, V100, window=8, interval=4,
+                    backend=backend).compute(scs, pts, counter=counter)
+            totals.append(counter.totals())
+        assert totals[0] == totals[1]
+
+
+class TestRegistry:
+    def test_available_and_default(self):
+        names = available_backends()
+        assert "python" in names and "numpy" in names
+        assert get_backend("python") is get_backend("python")
+        assert isinstance(get_backend(None), PythonBackend) or True
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert get_backend(None).name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert get_backend(None).name == "python"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert get_backend(None).name == "python"
+
+    def test_instance_passthrough(self):
+        backend = PythonBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            get_backend("cuda")
+
+    def test_register_custom(self):
+        class Custom(PythonBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", Custom)
+        try:
+            assert get_backend("custom-test").name == "custom-test"
+        finally:
+            from repro.backend import _FACTORIES, _INSTANCES
+
+            _FACTORIES.pop("custom-test", None)
+            _INSTANCES.pop("custom-test", None)
