@@ -7,12 +7,18 @@ Jacobian point ops. Two implementations ship:
 * ``python`` — :class:`~repro.backend.pybackend.PythonBackend`, the
   historical per-element int loops, extracted verbatim (the default);
 * ``numpy`` — :class:`~repro.backend.numpy_limb.NumpyLimbBackend`, a
-  vectorized limb-matrix engine after the paper's DFP library (§4.3).
+  vectorized limb-matrix engine after the paper's DFP library (§4.3),
+  plus struct-of-arrays curve kernels and a segmented bucket reduction
+  for the MSM hot path (:mod:`repro.backend.numpy_curve`, backed by the
+  runtime-compiled Montgomery kernels of :mod:`repro.backend.native`).
 
 Selection: pass a backend (or its name) explicitly to the engines, or
-set ``REPRO_BACKEND=python|numpy`` in the environment. All backends are
-bit-exact against each other; op-count traces never depend on the
-choice.
+set ``REPRO_BACKEND=python|numpy`` in the environment. Backends are
+bit-exact against each other and op-count traces never depend on the
+choice, with one documented relaxation: bucket accumulation may
+reassociate per-bucket sums and return any group-equal Jacobian
+representative (see
+:meth:`~repro.backend.base.ComputeBackend.accumulate_buckets`).
 """
 
 from __future__ import annotations

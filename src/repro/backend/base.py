@@ -109,22 +109,48 @@ class ComputeBackend:
     # -- batch curve ops (Jacobian) ---------------------------------------------
 
     def batch_jdouble(self, group, points: Sequence) -> List:
-        """One doubling of every point (a fold step of the MSM engines)."""
+        """One doubling of every point (a fold step of the MSM engines).
+
+        Overrides must be bit-identical to this loop, including the op
+        counts ``group`` emits (vectorized implementations patch the
+        rare special-case lanes with the scalar formulas to keep both)."""
         return [group.jdouble(p) for p in points]
 
     def batch_jadd(self, group, ps: Sequence, qs: Sequence) -> List:
-        """Pairwise Jacobian addition of two equal-length point rows."""
+        """Pairwise Jacobian addition of two equal-length point rows
+        (same bit-identity contract as :meth:`batch_jdouble`)."""
         return [group.jadd(p, q) for p, q in zip(ps, qs)]
 
     def batch_jmixed_add(self, group, ps: Sequence, qs: Sequence) -> List:
-        """Pairwise Jacobian += affine addition."""
+        """Pairwise Jacobian += affine addition (same bit-identity
+        contract as :meth:`batch_jdouble`)."""
         return [group.jmixed_add(p, q) for p, q in zip(ps, qs)]
 
     def accumulate_buckets(self, group, buckets: List,
                            entries: Sequence[Tuple[int, object]]) -> List:
         """Point-merging: fold (bucket index, affine point) entries into
-        ``buckets`` in order, in place. The entry order is the engines'
-        original scalar order, so results and counts are unchanged."""
+        ``buckets`` in place.
+
+        This default folds in the engines' original scalar order.
+        Overrides MAY reassociate the per-bucket sums (e.g. the
+        segmented tree of :mod:`repro.backend.numpy_curve`) under this
+        contract:
+
+        * each resulting bucket is *group-equal* to the ordered fold's,
+          but may be any Jacobian representative — e.g. (x, y, 1) — so
+          downstream consumers must compare points via
+          ``group.from_jacobian`` (every in-repo consumer already
+          normalizes before use);
+        * PADD/PDBL totals must match the ordered fold exactly. A
+          reassociated schedule meets different equality events than
+          the fold when a bucket receives the same x-coordinate twice
+          (a duplicated or negated base — real proving keys do repeat
+          bases), so overrides detect such buckets up front and route
+          them through this scalar fold verbatim. The one remaining
+          divergence window is an entry colliding with a *partial sum*
+          of its bucket — a discrete-log event for honest inputs, which
+          the repo's own keys cannot hit.
+        """
         for idx, point in entries:
             buckets[idx] = group.jmixed_add(buckets[idx], point)
         return buckets

@@ -1,0 +1,775 @@
+"""Vectorized struct-of-arrays curve arithmetic for the MSM hot path.
+
+Two engines live here, split by what each is for:
+
+* **Batch Jacobian kernels** (:func:`batch_jdouble`, :func:`batch_jadd`,
+  :func:`batch_jmixed_add`) run the *same* formulas as
+  :class:`~repro.curves.weierstrass.CurveGroup` as whole-row limb
+  operations over the base-2^22 engine of
+  :mod:`repro.backend.numpy_limb`: coordinates become (LG, n) int64 limb
+  matrices, every field multiply is one lazily-reduced schoolbook pass
+  over all lanes, and canonicalization happens once at egress — so the
+  results are bit-identical to the scalar path. Special cases (infinity,
+  P == Q -> double, P == -Q -> infinity) are detected per lane — input
+  coordinates are canonical Python ints, so z == 0 / y == 0 / q is None
+  are free; the computed comparisons (u1 == u2, s1 == s2) are exact
+  because egress canonicalizes before testing — and those rare lanes are
+  patched with the self-counting scalar formulas, keeping op-count
+  parity exact.
+
+* **Segmented bucket reduction** (:func:`accumulate_buckets_segmented`)
+  replaces the ordered per-entry fold of bucket accumulation with a
+  sorted, log-depth tree of *batch-affine* additions: entries are
+  stable-sorted by bucket index once, then each round pairs adjacent
+  same-bucket lanes and combines every pair with a single shared
+  Montgomery batch inversion (one field inversion per round, 6 muls per
+  combine instead of the ~11 of a mixed Jacobian add). Field lanes are
+  Montgomery-domain word rows driven by the runtime-compiled kernels of
+  :mod:`repro.backend.native`; when those are unavailable the caller
+  falls back to the scalar fold. Bucket results are group-equal to the
+  scalar fold's (written as (x, y, 1) Jacobian representatives) and
+  PADD/PDBL totals match the scalar schedule — see
+  :meth:`repro.backend.base.ComputeBackend.accumulate_buckets` for the
+  exact contract.
+
+Both engines support G1 (prime-field coordinates); the segmented tree
+also supports G2 over a quadratic extension Fq2 = Fq[i]/(i^2 + c0)
+(Karatsuba over the native base-field lanes). Anything else falls back
+to the scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.native import get_native_field
+from repro.backend.numpy_limb import (
+    LIMB_BITS,
+    _balanced_limb_cols,
+    _geometry,
+    _ints_to_limbs,
+    _limbs_to_ints,
+)
+from repro.curves.fieldops import ExtFieldOps, IntFieldOps
+
+try:  # keep importable without numpy (mirrors numpy_limb)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = [
+    "MIN_VECTOR_LANES",
+    "SEGMENTED_MIN_ENTRIES",
+    "supports_group",
+    "batch_jdouble",
+    "batch_jadd",
+    "batch_jmixed_add",
+    "accumulate_buckets_segmented",
+]
+
+#: below this many lanes the per-call ingress/egress overhead outweighs
+#: any batching win; callers fall back to the scalar loop
+MIN_VECTOR_LANES = 16
+
+#: below this many entries the sorted tree's setup costs more than the
+#: scalar fold it replaces
+SEGMENTED_MIN_ENTRIES = 64
+
+_HALF_I = 1 << (LIMB_BITS - 1)
+
+
+def supports_group(group) -> bool:
+    """True when the batch Jacobian kernels can vectorize this group
+    (prime-field coordinates; G2 extension lanes go through the
+    segmented tree only)."""
+    return _np is not None and isinstance(group.ops, IntFieldOps)
+
+
+# -- int64 limb-vector field (SoA lanes for the Jacobian kernels) --------------
+
+
+class _LV:
+    """A lane vector: (LG, m) int64 limb matrix + body-magnitude bound.
+
+    ``mag`` bounds the *body* limbs (rows 0..LG-2); the top guard limb
+    holds the accumulated overflow of the represented value and is kept
+    tiny (|top| <= ~2) by the top-fold step of :meth:`_VecField.mul` and
+    the structure of ingress (canonical values never reach the guard
+    rows)."""
+
+    __slots__ = ("arr", "mag")
+
+    def __init__(self, arr: "_np.ndarray", mag: int):
+        self.arr = arr
+        self.mag = mag
+
+
+class _VecField:
+    """Batched arithmetic over one prime modulus in base-2^22 int64
+    limbs, lane axis last: shapes are (LG, m).
+
+    Reuses the geometry/ingress/egress machinery of
+    :mod:`repro.backend.numpy_limb` but accumulates products in int64
+    (exact while magnitudes stay under the tracked caps) and folds the
+    high half of a product back below the modulus with a precomputed
+    constant matrix — the same lazy-reduction idea as ``vmul``, kept in
+    integer arithmetic so intermediate lane values can be chained
+    without a canonicalizing egress after every op."""
+
+    def __init__(self, modulus: int):
+        self.geom = _geometry(modulus)
+        self.p = modulus
+        lg, ld = self.geom.lg, self.geom.ld
+        self.lg = lg
+        self.ld = ld
+        # Column j is the balanced limb vector of 2^(22*(ld+j)) mod p;
+        # multiplying the high rows of a double-width product by this
+        # matrix re-expresses them below 2^(22*ld), i.e. lazily reduces.
+        foldT = _balanced_limb_cols(
+            self.geom, [pow(2, LIMB_BITS * j, modulus) for j in range(ld, 2 * lg)]
+        ).T.copy()  # (lg, 2*lg - ld)
+        # Split fold: the float matmul covers every high row except the
+        # topmost (its entries can exceed float exactness); that last
+        # row's contribution is added as an exact int64 outer product.
+        self._fold_f = _np.ascontiguousarray(foldT[:, :-1])
+        self._fold_last = foldT[:, -1].astype(_np.int64).reshape(lg, 1)
+        # Balanced limbs of 2^(22*(lg-1)) mod p: folds the top guard
+        # limb's overflow back into the body (rows above ld are zero
+        # because the folded value is < 2^(22*ld)).
+        self._top_fold = (
+            _balanced_limb_cols(self.geom, [pow(2, LIMB_BITS * (lg - 1), modulus)])
+            .T.copy()
+            .astype(_np.int64)
+        )
+
+    # -- conversions -----------------------------------------------------------
+
+    def from_ints(self, vals: Sequence[int]) -> _LV:
+        arr = _ints_to_limbs(self.geom, vals).T.copy().astype(_np.int64)
+        return _LV(arr, 1 << LIMB_BITS)
+
+    def from_const(self, value: int) -> _LV:
+        arr = (
+            _balanced_limb_cols(self.geom, [value % self.p]).T.copy().astype(_np.int64)
+        )
+        return _LV(arr, _HALF_I + 2)  # (lg, 1): broadcasts across lanes
+
+    def to_ints(self, v: _LV) -> List[int]:
+        if v.mag > (1 << 26):
+            self.normalize(v)
+        return _limbs_to_ints(self.geom, v.arr.T.astype(_np.float64))
+
+    def gather(self, v: _LV, idx) -> _LV:
+        return _LV(_np.ascontiguousarray(v.arr[:, idx]), v.mag)
+
+    # -- limb maintenance ------------------------------------------------------
+
+    @staticmethod
+    def _carry(arr: "_np.ndarray") -> None:
+        """One balanced carry round; the top row re-absorbs its own
+        carry (value-preserving: nothing is ever dropped)."""
+        d = (arr + _HALF_I) >> LIMB_BITS
+        arr -= d << LIMB_BITS
+        arr[1:] += d[:-1]
+        arr[-1] += d[-1] << LIMB_BITS
+
+    def normalize(self, v: _LV) -> _LV:
+        self._carry(v.arr)
+        self._carry(v.arr)
+        v.mag = _HALF_I + 2
+        return v
+
+    # -- arithmetic (lazy mod-p congruence; canonical only at egress) ----------
+
+    def add(self, a: _LV, b: _LV) -> _LV:
+        out = _LV(a.arr + b.arr, a.mag + b.mag)
+        if out.mag > (1 << 28):
+            self.normalize(out)
+        return out
+
+    def sub(self, a: _LV, b: _LV) -> _LV:
+        out = _LV(a.arr - b.arr, a.mag + b.mag)
+        if out.mag > (1 << 28):
+            self.normalize(out)
+        return out
+
+    def mul_small(self, a: _LV, k: int) -> _LV:
+        out = _LV(a.arr * k, a.mag * k)
+        if out.mag > (1 << 28):
+            self.normalize(out)
+        return out
+
+    def mul(self, a: _LV, b: _LV) -> _LV:
+        while a.mag * b.mag > (1 << 53):
+            self.normalize(a if a.mag >= b.mag else b)
+        lg = self.lg
+        m = max(a.arr.shape[1], b.arr.shape[1])
+        prod = _np.zeros((2 * lg, m), dtype=_np.int64)
+        tmp = _np.empty((lg, m), dtype=_np.int64)
+        _np.multiply(a.arr, b.arr[0], out=prod[0:lg])
+        for j in range(1, lg):
+            # diagonal accumulation: row sums stay under LG * magA*magB
+            # <= 37 * 2^53 < 2^63, exact in int64
+            _np.multiply(a.arr, b.arr[j], out=tmp)
+            prod[j : j + lg] += tmp
+        self._carry(prod)
+        self._carry(prod)
+        out = _np.matmul(
+            self._fold_f, prod[self.ld : -1].astype(_np.float64)
+        ).astype(_np.int64)
+        out += self._fold_last * prod[-1]
+        out[: self.ld] += prod[: self.ld]
+        # fold the top guard limb's overflow down so chained products
+        # never grow the guard rows
+        top = out[-1].copy()
+        out[-1] = 0
+        out += self._top_fold * top
+        self._carry(out)
+        self._carry(out)
+        return _LV(out, _HALF_I + 2)
+
+
+_VEC_FIELDS: Dict[int, _VecField] = {}
+
+
+def _vec_field(modulus: int) -> _VecField:
+    vf = _VEC_FIELDS.get(modulus)
+    if vf is None:
+        vf = _VEC_FIELDS[modulus] = _VecField(modulus)
+    return vf
+
+
+# -- batch Jacobian kernels (G1) ----------------------------------------------
+
+
+def batch_jdouble(group, points: Sequence) -> List:
+    """SoA doubling of every point; bit-identical to
+    ``[group.jdouble(p) for p in points]`` including op counts."""
+    o = group.ops
+    consts = group.formula_constants()
+    results: List = [None] * len(points)
+    act: List[int] = []
+    for i, (x, y, z) in enumerate(points):
+        if z == 0 or y == 0:
+            results[i] = (1, 1, 0)  # scalar early return: no counts
+        else:
+            act.append(i)
+    if not act:
+        return results
+    vf = _vec_field(o.field.modulus)
+    X = vf.from_ints([points[i][0] for i in act])
+    Y = vf.from_ints([points[i][1] for i in act])
+    Z = vf.from_ints([points[i][2] for i in act])
+    ysq = vf.mul(Y, Y)
+    s = vf.mul_small(vf.mul(X, ysq), 4)
+    if consts["a_is_zero"]:
+        m = vf.mul_small(vf.mul(X, X), 3)
+    else:
+        z2 = vf.mul(Z, Z)
+        m = vf.add(
+            vf.mul_small(vf.mul(X, X), 3),
+            vf.mul(vf.mul(z2, z2), vf.from_const(consts["a"])),
+        )
+    x3 = vf.sub(vf.mul(m, m), vf.mul_small(s, 2))
+    y3 = vf.sub(vf.mul(m, vf.sub(s, x3)), vf.mul_small(vf.mul(ysq, ysq), 8))
+    z3 = vf.mul_small(vf.mul(Y, Z), 2)
+    xi, yi, zi = vf.to_ints(x3), vf.to_ints(y3), vf.to_ints(z3)
+    for k, i in enumerate(act):
+        results[i] = (xi[k], yi[k], zi[k])
+    group._count("pdbl", len(act))
+    group._count("padd", len(act))  # scalar jdouble counts both
+    return results
+
+
+def batch_jadd(group, ps: Sequence, qs: Sequence) -> List:
+    """SoA pairwise Jacobian addition; bit-identical to the scalar
+    loop. Doubling lanes (u1 == u2, s1 == s2) are patched with the
+    self-counting scalar ``jdouble`` so counts stay exact."""
+    o = group.ops
+    n = len(ps)
+    results: List = [None] * n
+    act: List[int] = []
+    for i in range(n):
+        if ps[i][2] == 0:
+            results[i] = qs[i]
+        elif qs[i][2] == 0:
+            results[i] = ps[i]
+        else:
+            act.append(i)
+    if not act:
+        return results
+    vf = _vec_field(o.field.modulus)
+    X1 = vf.from_ints([ps[i][0] for i in act])
+    Y1 = vf.from_ints([ps[i][1] for i in act])
+    Z1 = vf.from_ints([ps[i][2] for i in act])
+    X2 = vf.from_ints([qs[i][0] for i in act])
+    Y2 = vf.from_ints([qs[i][1] for i in act])
+    Z2 = vf.from_ints([qs[i][2] for i in act])
+    z1sq = vf.mul(Z1, Z1)
+    z2sq = vf.mul(Z2, Z2)
+    u1 = vf.mul(X1, z2sq)
+    u2 = vf.mul(X2, z1sq)
+    s1 = vf.mul(Y1, vf.mul(z2sq, Z2))
+    s2 = vf.mul(Y2, vf.mul(z1sq, Z1))
+    h = vf.sub(u2, u1)
+    r = vf.sub(s2, s1)
+    hi = vf.to_ints(vf.gather(h, slice(None)))
+    special = [k for k, v in enumerate(hi) if v == 0]
+    sp = frozenset(special)
+    if special:
+        ri = vf.to_ints(vf.gather(r, special))
+        for k, rv in zip(special, ri):
+            i = act[k]
+            if rv == 0:
+                results[i] = group.jdouble(ps[i])  # counts pdbl + padd
+            else:
+                results[i] = (1, 1, 0)  # P + (-P): no counts
+    hsq = vf.mul(h, h)
+    hcu = vf.mul(hsq, h)
+    u1hsq = vf.mul(u1, hsq)
+    x3 = vf.sub(vf.sub(vf.mul(r, r), hcu), vf.mul_small(u1hsq, 2))
+    y3 = vf.sub(vf.mul(r, vf.sub(u1hsq, x3)), vf.mul(s1, hcu))
+    z3 = vf.mul(h, vf.mul(Z1, Z2))
+    xi, yi, zi = vf.to_ints(x3), vf.to_ints(y3), vf.to_ints(z3)
+    n_normal = 0
+    for k, i in enumerate(act):
+        if k in sp:
+            continue
+        results[i] = (xi[k], yi[k], zi[k])
+        n_normal += 1
+    group._count("padd", n_normal)
+    return results
+
+
+def batch_jmixed_add(group, ps: Sequence, qs: Sequence) -> List:
+    """SoA pairwise Jacobian += affine addition; bit-identical to the
+    scalar loop (same special-case routing as :func:`batch_jadd`)."""
+    o = group.ops
+    n = len(ps)
+    results: List = [None] * n
+    act: List[int] = []
+    for i in range(n):
+        if qs[i] is None:
+            results[i] = ps[i]
+        elif ps[i][2] == 0:
+            results[i] = group.to_jacobian(qs[i])
+        else:
+            act.append(i)
+    if not act:
+        return results
+    vf = _vec_field(o.field.modulus)
+    X1 = vf.from_ints([ps[i][0] for i in act])
+    Y1 = vf.from_ints([ps[i][1] for i in act])
+    Z1 = vf.from_ints([ps[i][2] for i in act])
+    X2 = vf.from_ints([qs[i][0] for i in act])
+    Y2 = vf.from_ints([qs[i][1] for i in act])
+    z1sq = vf.mul(Z1, Z1)
+    u2 = vf.mul(X2, z1sq)
+    s2 = vf.mul(Y2, vf.mul(z1sq, Z1))
+    h = vf.sub(u2, X1)
+    r = vf.sub(s2, Y1)
+    hi = vf.to_ints(vf.gather(h, slice(None)))
+    special = [k for k, v in enumerate(hi) if v == 0]
+    sp = frozenset(special)
+    if special:
+        ri = vf.to_ints(vf.gather(r, special))
+        for k, rv in zip(special, ri):
+            i = act[k]
+            if rv == 0:
+                results[i] = group.jdouble(ps[i])
+            else:
+                results[i] = (1, 1, 0)
+    hsq = vf.mul(h, h)
+    hcu = vf.mul(hsq, h)
+    u1hsq = vf.mul(X1, hsq)
+    x3 = vf.sub(vf.sub(vf.mul(r, r), hcu), vf.mul_small(u1hsq, 2))
+    y3 = vf.sub(vf.mul(r, vf.sub(u1hsq, x3)), vf.mul(Y1, hcu))
+    z3 = vf.mul(h, Z1)
+    xi, yi, zi = vf.to_ints(x3), vf.to_ints(y3), vf.to_ints(z3)
+    n_normal = 0
+    for k, i in enumerate(act):
+        if k in sp:
+            continue
+        results[i] = (xi[k], yi[k], zi[k])
+        n_normal += 1
+    group._count("padd", n_normal)
+    return results
+
+
+# -- segmented bucket reduction (native Montgomery lanes) ----------------------
+
+
+class _PlaneLanes:
+    """Coordinate vectors as tuples of (n, w) Montgomery word planes
+    (one plane for G1, two for Fq2), plus the structural helpers the
+    tree needs. Subclasses supply the field arithmetic; point I/O is
+    shared via the ops' ``coeffs``/``from_coeffs`` SoA adapters."""
+
+    nplanes = 1
+
+    def load_points(self, pts):
+        o = self.group.ops
+        nf = self.nf
+        xs = [o.coeffs(p[0]) for p in pts]
+        ys = [o.coeffs(p[1]) for p in pts]
+        X = tuple(nf.encode([c[k] for c in xs]) for k in range(self.nplanes))
+        Y = tuple(nf.encode([c[k] for c in ys]) for k in range(self.nplanes))
+        return X, Y
+
+    def decode(self, X, Y):
+        o = self.group.ops
+        nf = self.nf
+        xp = [nf.decode(pl) for pl in X]
+        yp = [nf.decode(pl) for pl in Y]
+        return [
+            (o.from_coeffs(tuple(p[i] for p in xp)),
+             o.from_coeffs(tuple(p[i] for p in yp)))
+            for i in range(len(xp[0]))
+        ]
+
+    @staticmethod
+    def nrows(c) -> int:
+        return c[0].shape[0]
+
+    @staticmethod
+    def gather(c, idx):
+        return tuple(_np.ascontiguousarray(pl[idx]) for pl in c)
+
+    @staticmethod
+    def set_rows(dst, idx, src) -> None:
+        for d, s in zip(dst, src):
+            d[idx] = s
+
+    @staticmethod
+    def concat(a, b):
+        return tuple(_np.concatenate([x, y]) for x, y in zip(a, b))
+
+    @staticmethod
+    def interleave(a, b):
+        outs = []
+        for x, y in zip(a, b):
+            out = _np.empty((2 * x.shape[0], x.shape[1]), dtype=x.dtype)
+            out[0::2] = x
+            out[1::2] = y
+            outs.append(out)
+        return tuple(outs)
+
+    def combine(self, num, inv, lx, rx, ly):
+        """Chord/tangent combine for one pair round: lam = num*inv,
+        x3 = lam^2 - lx - rx, y3 = lam*(lx - x3) - ly."""
+        lam = self.mul(num, inv)
+        x3 = self.sub(self.sub(self.mul(lam, lam), lx), rx)
+        y3 = self.sub(self.mul(lam, self.sub(lx, x3)), ly)
+        return x3, y3
+
+    def invert(self, dens):
+        """Montgomery batch inversion via a pairwise product tree: one
+        real field inversion at the root (in Python), multiplications
+        everywhere else. Every input row must be invertible (callers
+        park dead/special lanes at one)."""
+        n = self.nrows(dens)
+        cur = dens
+        stack = []
+        while self.nrows(cur) > 1:
+            m = self.nrows(cur)
+            if m & 1:
+                cur = self.concat(cur, self.ones(1))
+                m += 1
+            ev = self.gather(cur, slice(0, m, 2))
+            od = self.gather(cur, slice(1, m, 2))
+            stack.append((ev, od))
+            cur = self.mul(ev, od)
+        inv = self.inv_root(cur)
+        for ev, od in reversed(stack):
+            left = self.mul(inv, od)
+            right = self.mul(inv, ev)
+            inv = self.interleave(left, right)
+        return self.gather(inv, slice(0, n))
+
+
+class _G1Lanes(_PlaneLanes):
+    """Prime-field lanes over the runtime-compiled Montgomery kernels."""
+
+    def __init__(self, group, nf):
+        self.group = group
+        self.nf = nf
+        consts = group.formula_constants()
+        self._a_zero = consts["a_is_zero"]
+        if not self._a_zero:
+            self._a_row = nf.encode_const(consts["a"])
+
+    def mul(self, a, b):
+        return (self.nf.mul(a[0], b[0]),)
+
+    def add(self, a, b):
+        return (self.nf.add(a[0], b[0]),)
+
+    def sub(self, a, b):
+        return (self.nf.sub(a[0], b[0]),)
+
+    def eq(self, a, b):
+        return self.nf.rows_equal(a[0], b[0])
+
+    def is_zero(self, a):
+        return self.nf.is_zero(a[0])
+
+    def ones(self, n):
+        arr = _np.empty((n, self.nf.w), dtype=_np.uint64)
+        arr[:] = self.nf.mont_one
+        return (arr,)
+
+    def add_a(self, c):
+        if self._a_zero:
+            return c
+        tile = _np.empty_like(c[0])
+        tile[:] = self._a_row
+        return (self.nf.add(c[0], tile),)
+
+    def inv_root(self, c):
+        v = self.nf.decode_one(c[0][0])
+        return (self.nf.encode([pow(v, -1, self.nf.p)]),)
+
+    def combine(self, num, inv, lx, rx, ly):
+        x3, y3 = self.nf.affine_combine(num[0], inv[0], lx[0], rx[0],
+                                        ly[0])
+        return (x3,), (y3,)
+
+    def invert(self, dens):
+        # one prime-field plane: the sequential in-C prefix-product
+        # trick beats the log-depth tree (2 kernel calls, no per-level
+        # gather/interleave traffic)
+        return (self.nf.batch_inverse(dens[0]),)
+
+
+class _ExtLanes(_PlaneLanes):
+    """Fq2 = Fq[i]/(i^2 + c0) lanes: Karatsuba over two base-field
+    planes (3 base muls per Fq2 mul)."""
+
+    nplanes = 2
+
+    def __init__(self, group, nf):
+        self.group = group
+        self.nf = nf
+        self.field = group.ops.field
+        c0 = self.field.modulus_coeffs[0]
+        self._c0_is_one = c0 == 1
+        if not self._c0_is_one:
+            self._c0_row = nf.encode_const(c0)
+        consts = group.formula_constants()
+        self._a_zero = consts["a_is_zero"]
+        if not self._a_zero:
+            a0, a1 = consts["a"].coeffs
+            self._a_rows = (nf.encode_const(a0), nf.encode_const(a1))
+
+    def mul(self, a, b):
+        nf = self.nf
+        t0 = nf.mul(a[0], b[0])
+        t2 = nf.mul(a[1], b[1])
+        t1 = nf.mul(nf.add(a[0], a[1]), nf.add(b[0], b[1]))
+        t1 = nf.sub(nf.sub(t1, t0), t2)
+        if self._c0_is_one:
+            r0 = nf.sub(t0, t2)
+        else:
+            tile = _np.empty_like(t2)
+            tile[:] = self._c0_row
+            r0 = nf.sub(t0, nf.mul(t2, tile))
+        return (r0, t1)
+
+    def add(self, a, b):
+        return (self.nf.add(a[0], b[0]), self.nf.add(a[1], b[1]))
+
+    def sub(self, a, b):
+        return (self.nf.sub(a[0], b[0]), self.nf.sub(a[1], b[1]))
+
+    def eq(self, a, b):
+        return self.nf.rows_equal(a[0], b[0]) & self.nf.rows_equal(a[1], b[1])
+
+    def is_zero(self, a):
+        return self.nf.is_zero(a[0]) & self.nf.is_zero(a[1])
+
+    def ones(self, n):
+        c0 = _np.empty((n, self.nf.w), dtype=_np.uint64)
+        c0[:] = self.nf.mont_one
+        return (c0, _np.zeros((n, self.nf.w), dtype=_np.uint64))
+
+    def add_a(self, c):
+        if self._a_zero:
+            return c
+        outs = []
+        for plane, row in zip(c, self._a_rows):
+            tile = _np.empty_like(plane)
+            tile[:] = row
+            outs.append(self.nf.add(plane, tile))
+        return tuple(outs)
+
+    def inv_root(self, c):
+        a0 = self.nf.decode_one(c[0][0])
+        a1 = self.nf.decode_one(c[1][0])
+        inv = self.field.element([a0, a1]).inverse()
+        return (self.nf.encode([inv.coeffs[0]]), self.nf.encode([inv.coeffs[1]]))
+
+
+def _make_lane_engine(group):
+    o = group.ops
+    if isinstance(o, IntFieldOps):
+        nf = get_native_field(o.field.modulus)
+        return None if nf is None else _G1Lanes(group, nf)
+    if isinstance(o, ExtFieldOps):
+        f = o.field
+        if f.degree != 2 or f.modulus_coeffs[1] != 0:
+            return None
+        nf = get_native_field(f.base.modulus)
+        return None if nf is None else _ExtLanes(group, nf)
+    return None
+
+
+def accumulate_buckets_segmented(group, buckets: List,
+                                 entries: Sequence[Tuple[int, object]]
+                                 ) -> Optional[List]:
+    """Sorted log-depth batch-affine bucket accumulation.
+
+    Returns None (caller falls back to the scalar fold) when numpy or
+    the native kernels are unavailable, the group's coordinate field is
+    unsupported, or the batch is too small to pay for the setup.
+
+    Entries are stable-sorted by bucket index; buckets that receive the
+    same x-coordinate more than once are folded scalar-first (the
+    ordered fold's equality events cannot be reproduced by any
+    reassociation — see the count contract on
+    ``ComputeBackend.accumulate_buckets``); each remaining round pairs
+    adjacent lanes of the same bucket and combines all pairs with one
+    shared batch inversion. P == Q lanes use the tangent slope (a
+    doubling), P == -Q lanes cancel to a dead lane that revives from
+    its right neighbour next round — detection is exact because the
+    Montgomery lanes stay canonical. Surviving lanes land in
+    ``buckets`` as (x, y, 1) Jacobian representatives (group-equal to
+    the scalar fold; merged with the self-counting ``jadd`` when the
+    incoming bucket is not infinity)."""
+    if _np is None:
+        return None
+    items = [(idx, pt) for idx, pt in entries if pt is not None]
+    if len(items) < SEGMENTED_MIN_ENTRIES:
+        return None
+    eng = _make_lane_engine(group)
+    if eng is None:
+        return None
+    idxs = _np.fromiter((i for i, _ in items), dtype=_np.int64, count=len(items))
+    order = _np.argsort(idxs, kind="stable")
+    curb = idxs[order]
+    pts = [items[int(k)][1] for k in order]
+    X, Y = eng.load_points(pts)
+    # Buckets fed the same x-coordinate twice (a duplicated or negated
+    # base — rare, but real proving keys do repeat bases) go through
+    # the exact scalar fold: no reassociated schedule can reproduce the
+    # ordered fold's equality events on such multisets, and the count
+    # contract demands it (see ComputeBackend.accumulate_buckets).
+    # Montgomery rows are canonical, so equal x <=> equal word rows.
+    # Fast pre-pass: sort by (bucket, 64-bit x digest). Equal x implies
+    # equal digest, so a genuine duplicate always lands adjacent here —
+    # a miss is impossible, and the all-distinct common case skips the
+    # expensive full-width word sort entirely.
+    dig = curb.astype(_np.uint64)
+    mix = _np.uint64(0x9E3779B97F4A7C15)
+    for pl in X:
+        for j in range(pl.shape[1]):
+            dig = dig * mix + pl[:, j]
+    ordd = _np.lexsort((dig, curb))
+    sc = curb[ordd]
+    sd = dig[ordd]
+    flagged = None
+    if ((sc[:-1] == sc[1:]) & (sd[:-1] == sd[1:])).any():
+        # Digest hit (real duplicate or hash collision): confirm with
+        # the exact full-width sort over the Montgomery word columns.
+        xcols = tuple(col for pl in X for col in pl.T) + (curb,)
+        ordx = _np.lexsort(xcols)
+        sc = curb[ordx]
+        adj = sc[:-1] == sc[1:]
+        eqx = adj.copy()
+        for pl in X:
+            sp = pl[ordx]
+            eqx &= (sp[:-1] == sp[1:]).all(axis=1)
+        if eqx.any():
+            flagged = _np.unique(sc[:-1][eqx])
+    if flagged is not None:
+        flagset = {int(b) for b in flagged}
+        keep0 = ~_np.isin(curb, flagged)
+        X = eng.gather(X, keep0)
+        Y = eng.gather(Y, keep0)
+        curb = curb[keep0]
+        for idx, pt in items:
+            if idx in flagset:
+                buckets[idx] = group.jmixed_add(buckets[idx], pt)
+    alive = _np.ones(curb.shape[0], dtype=bool)
+    n_padd = 0
+    n_pdbl = 0
+    while eng.nrows(X) > 1:
+        m = eng.nrows(X)
+        # run detection over the sorted bucket ids (one pass, no loops)
+        same = _np.zeros(m, dtype=bool)
+        same[:-1] = curb[:-1] == curb[1:]
+        newrun = _np.ones(m, dtype=bool)
+        newrun[1:] = curb[1:] != curb[:-1]
+        starts = _np.flatnonzero(newrun)
+        run_id = _np.cumsum(newrun) - 1
+        pos_in_run = _np.arange(m) - starts[run_id]
+        is_left = (pos_in_run % 2 == 0) & same
+        li = _np.flatnonzero(is_left)
+        if li.size == 0:
+            break  # all remaining lanes target distinct buckets
+        ri = li + 1
+        aL = alive[li]
+        aR = alive[ri]
+        both = aL & aR
+        lx, ly = eng.gather(X, li), eng.gather(Y, li)
+        rx, ry = eng.gather(X, ri), eng.gather(Y, ri)
+        x_eq = eng.eq(lx, rx) & both
+        cancel = x_eq & eng.is_zero(eng.add(ly, ry))
+        dbl = x_eq & ~cancel
+        work = (both & ~x_eq) | dbl
+        den = eng.sub(rx, lx)
+        num = eng.sub(ry, ly)
+        di = _np.flatnonzero(dbl)
+        if di.size:
+            dx = eng.gather(lx, di)
+            dy = eng.gather(ly, di)
+            eng.set_rows(den, di, eng.add(dy, dy))  # 2y (y != 0: not a cancel)
+            sq = eng.mul(dx, dx)
+            eng.set_rows(num, di, eng.add_a(eng.add(eng.add(sq, sq), sq)))
+        nw = _np.flatnonzero(~work)
+        if nw.size:
+            eng.set_rows(den, nw, eng.ones(int(nw.size)))
+        inv = eng.invert(den)
+        x3, y3 = eng.combine(num, inv, lx, rx, ly)
+        wi = _np.flatnonzero(work)
+        if wi.size:
+            eng.set_rows(X, li[wi], eng.gather(x3, wi))
+            eng.set_rows(Y, li[wi], eng.gather(y3, wi))
+        ci = _np.flatnonzero(~aL & aR)
+        if ci.size:  # dead left lane adopts its (alive) right neighbour
+            eng.set_rows(X, li[ci], eng.gather(rx, ci))
+            eng.set_rows(Y, li[ci], eng.gather(ry, ci))
+        alive[li] = (aL | aR) & ~cancel
+        n_padd += int(work.sum())
+        n_pdbl += int(dbl.sum())
+        keep = _np.ones(m, dtype=bool)
+        keep[ri] = False
+        X = eng.gather(X, keep)
+        Y = eng.gather(Y, keep)
+        alive = alive[keep]
+        curb = curb[keep]
+    group._count("padd", n_padd)
+    group._count("pdbl", n_pdbl)
+    fin = _np.flatnonzero(alive)
+    if fin.size:
+        coords = eng.decode(eng.gather(X, fin), eng.gather(Y, fin))
+        o = group.ops
+        one = o.one
+        for lane, (x, y) in zip(fin, coords):
+            b = int(curb[lane])
+            init = buckets[b]
+            if o.is_zero(init[2]):
+                # scalar path's first assignment is count-free too
+                buckets[b] = (x, y, one)
+            else:
+                buckets[b] = group.jadd(init, (x, y, one))  # counts padd
+    return buckets

@@ -97,6 +97,8 @@ class _Geometry:
 _GEOMS: Dict[int, _Geometry] = {}
 #: pass-matrix cache: (modulus, n, omega) -> list of (L, LG, LG) arrays
 _TABLES: Dict[Tuple[int, int, int], list] = {}
+#: power-ladder cache for vmul_powers: (modulus, g) -> [1, g, g^2, ...]
+_POWER_LADDERS: Dict[Tuple[int, int], List[int]] = {}
 
 
 def _geometry(modulus: int) -> _Geometry:
@@ -271,11 +273,14 @@ def _stockham_ntt(field, vals: Sequence[int], omega: int) -> List[int]:
 
 class NumpyLimbBackend(ComputeBackend):
     """Vectorized limb-matrix engine; overrides the ops where batching
-    pays (fused NTT sweeps, pointwise products). Per-element ops and
-    curve ops inherit the scalar path: converting a single operand into
-    limb form costs more than the big-int op it would replace, and on
-    one core the Jacobian formulas are dominated by full-width modular
-    multiplies that NumPy cannot batch profitably at our sizes."""
+    pays. NTT sweeps and pointwise products run as fused limb-matrix
+    passes here; curve ops route to :mod:`repro.backend.numpy_curve`:
+    the batch Jacobian kernels run the group-law formulas as
+    struct-of-arrays rows over this module's limb engine (bit-identical
+    to the scalar path), and bucket accumulation uses the segmented
+    batch-affine tree over the runtime-compiled Montgomery kernels of
+    :mod:`repro.backend.native`. Small batches and unsupported
+    coordinate fields fall back to the inherited scalar loops."""
 
     name = "numpy"
     fuses_ntt_sweeps = True
@@ -315,6 +320,25 @@ class NumpyLimbBackend(ComputeBackend):
 
     # -- batch field arithmetic -------------------------------------------------
 
+    def vmul_powers(self, field, xs: Sequence[int], g: int) -> List[int]:
+        """Coset scaling without the serial dependency: the power
+        ladder g^i is materialized once per (modulus, g) — extended on
+        demand and cached across calls — then applied with a single
+        batched :meth:`vmul`. Residues match the scalar accumulator
+        loop exactly (both are canonical products mod p)."""
+        n = len(xs)
+        if n < 2:
+            return super().vmul_powers(field, xs, g)
+        p = field.modulus
+        g %= p
+        key = (p, g)
+        pows = _POWER_LADDERS.get(key)
+        if pows is None:
+            pows = _POWER_LADDERS[key] = [1]
+        while len(pows) < n:
+            pows.append(pows[-1] * g % p)
+        return self.vmul(field, xs, pows[:n])
+
     def vmul(self, field, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
         """Lazy-reduction schoolbook product across the N axis: limb
         outer products accumulated per diagonal, one canonicalization at
@@ -333,6 +357,37 @@ class NumpyLimbBackend(ComputeBackend):
             # diagonal sums at most LG of them: exact in float64.
             prod[:, j:j + lg] += a * b[:, j:j + 1]
         return self._wide_egress(geom, prod, nl)
+
+    # -- batch curve ops --------------------------------------------------------
+
+    def batch_jdouble(self, group, points: Sequence) -> List:
+        from repro.backend import numpy_curve as _nc
+
+        if len(points) >= _nc.MIN_VECTOR_LANES and _nc.supports_group(group):
+            return _nc.batch_jdouble(group, points)
+        return super().batch_jdouble(group, points)
+
+    def batch_jadd(self, group, ps: Sequence, qs: Sequence) -> List:
+        from repro.backend import numpy_curve as _nc
+
+        if len(ps) >= _nc.MIN_VECTOR_LANES and _nc.supports_group(group):
+            return _nc.batch_jadd(group, ps, qs)
+        return super().batch_jadd(group, ps, qs)
+
+    def batch_jmixed_add(self, group, ps: Sequence, qs: Sequence) -> List:
+        from repro.backend import numpy_curve as _nc
+
+        if len(ps) >= _nc.MIN_VECTOR_LANES and _nc.supports_group(group):
+            return _nc.batch_jmixed_add(group, ps, qs)
+        return super().batch_jmixed_add(group, ps, qs)
+
+    def accumulate_buckets(self, group, buckets: List, entries) -> List:
+        from repro.backend import numpy_curve as _nc
+
+        out = _nc.accumulate_buckets_segmented(group, buckets, entries)
+        if out is None:  # too small / unsupported field / no native kernels
+            return super().accumulate_buckets(group, buckets, entries)
+        return out
 
     @staticmethod
     def _wide_egress(geom: _Geometry, prod: "_np.ndarray",

@@ -64,6 +64,17 @@ class IntFieldOps:
             return value % self.field.modulus
         raise TypeError(f"cannot coerce {type(value)!r} into {self.field.name}")
 
+    # Struct-of-arrays adapters: vectorized backends store coordinates
+    # as one plane of base-field residues per coefficient.
+
+    def coeffs(self, a) -> tuple:
+        """Base-field coefficient view of one element (one plane)."""
+        return (a,)
+
+    def from_coeffs(self, cs) -> Any:
+        """Inverse of :meth:`coeffs`."""
+        return cs[0]
+
 
 class ExtFieldOps:
     """Coordinate arithmetic over an extension field (Fq2 for G2)."""
@@ -116,6 +127,16 @@ class ExtFieldOps:
         if isinstance(value, (tuple, list)):
             return self.field.element(list(value))
         raise TypeError(f"cannot coerce {type(value)!r} into {self.field.name}")
+
+    # Struct-of-arrays adapters (degree planes of base-field residues).
+
+    def coeffs(self, a) -> tuple:
+        """Base-field coefficient view of one element (degree planes)."""
+        return a.coeffs
+
+    def from_coeffs(self, cs) -> Any:
+        """Inverse of :meth:`coeffs`."""
+        return self.field.element(list(cs))
 
 
 def make_ops(field):

@@ -71,6 +71,20 @@ class CurveGroup:
         if self.counter is not None:
             self.counter.count(op, n)
 
+    def formula_constants(self) -> dict:
+        """Everything a vectorized backend needs to mirror the Jacobian
+        formulas below without reaching into private state: the curve
+        coefficient (and whether the a = 0 fast path applies) plus the
+        per-operation field-multiplication costs the GPU model uses.
+        Consumed by :mod:`repro.backend.numpy_curve`."""
+        return {
+            "a": self.a,
+            "a_is_zero": self._a_is_zero,
+            "padd_fq_muls": self.PADD_FQ_MULS,
+            "pdbl_fq_muls": self.PDBL_FQ_MULS,
+            "pmixed_fq_muls": self.PMIXED_FQ_MULS,
+        }
+
     # -- structure ----------------------------------------------------------------
 
     @property

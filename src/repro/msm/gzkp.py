@@ -195,6 +195,12 @@ class GzkpMsm:
                         entries.append(
                             (residual * n_buckets + d - 1, table[block][i])
                         )
+                # Backends may reassociate each bucket's sum (the numpy
+                # backend runs a sorted segmented batch-affine tree) and
+                # return any group-equal Jacobian representative; the
+                # fold below only jadd/jdoubles them, so the final point
+                # is unchanged and op counts stay exact — see
+                # ComputeBackend.accumulate_buckets for the contract.
                 backend.accumulate_buckets(self.group, flat, entries)
                 sub = [flat[w * n_buckets:(w + 1) * n_buckets]
                        for w in range(m)]

@@ -121,6 +121,10 @@ class SubMsmPippenger:
                         d = scalar_digits(s, self.scalar_bits, self.window)[t]
                         if d:
                             entries.append((d - 1, p))
+                    # The backend may reassociate each bucket's sum and
+                    # hand back group-equal (x, y, 1) representatives
+                    # (see ComputeBackend.accumulate_buckets); the
+                    # reduction below is representation-independent.
                     backend.accumulate_buckets(self.group, buckets, entries)
                     # Bucket-reduction.
                     w_t = bucket_reduce(self.group, buckets)

@@ -26,19 +26,24 @@ __all__ = ["make_gzkp_prover"]
 def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
                      device: GpuDevice = V100,
                      msm_window: Optional[int] = None,
-                     msm_interval: Optional[int] = None) -> Groth16Prover:
+                     msm_interval: Optional[int] = None,
+                     backend=None) -> Groth16Prover:
     """A Groth16 prover whose POLY stage runs the GZKP shuffle-less NTT
     and whose MSMs run the consolidated checkpointed algorithm.
 
     ``msm_window``/``msm_interval`` override the profiler — useful at
     test scales where profiling targets (GPU occupancy) are meaningless.
+    ``backend`` (a ComputeBackend, name or None = $REPRO_BACKEND)
+    reaches every engine in the pipeline: the GZKP NTT, both MSMs and
+    the prover's pointwise POLY passes.
     """
-    ntt_engine = GzkpNtt(curve.fr, device)
+    ntt_engine = GzkpNtt(curve.fr, device, backend=backend)
     msm_g1 = GzkpMsm(curve.g1, curve.fr.bits, device,
-                     window=msm_window, interval=msm_interval)
+                     window=msm_window, interval=msm_interval,
+                     backend=backend)
     msm_g2 = GzkpMsm(curve.g2, curve.fr.bits, device,
                      window=msm_window, interval=msm_interval,
-                     fq_mul_factor=3.0)
+                     fq_mul_factor=3.0, backend=backend)
 
     def run_g1(scalars, points):
         return msm_g1.compute(list(scalars), list(points))
@@ -47,4 +52,4 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
         return msm_g2.compute(list(scalars), list(points))
 
     return Groth16Prover(r1cs, pk, curve, ntt_engine=ntt_engine,
-                         msm_g1=run_g1, msm_g2=run_g2)
+                         msm_g1=run_g1, msm_g2=run_g2, backend=backend)

@@ -22,11 +22,11 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.backend import get_backend
 from repro.curves.params import CurvePair
 from repro.curves.weierstrass import AffinePoint
-from repro.errors import ProofError
+from repro.errors import NttError, ProofError
 from repro.ntt.poly import PolyStage
-from repro.ntt.reference import intt, ntt
 from repro.snark.keys import ProvingKey
 from repro.snark.r1cs import R1CS
 
@@ -48,18 +48,29 @@ class Proof:
         return (fq_bytes + 1) * 2 + (2 * fq_bytes + 1)
 
 
-class _ReferenceNttEngine:
-    """Minimal NTT engine for the default prover (reference math)."""
+class _BackendNttEngine:
+    """Minimal NTT engine for the default prover: routes straight
+    through the compute-backend registry (the same math every backend
+    is bit-exact against), with no detour via the reference module."""
 
     def __init__(self, field, backend=None):
         self.field = field
         self.backend = backend
 
+    @staticmethod
+    def _check_size(n: int) -> None:
+        if n == 0 or n & (n - 1):
+            raise NttError(f"NTT size must be a power of two, got {n}")
+
     def compute(self, values, counter=None):
-        return ntt(self.field, values, counter=counter, backend=self.backend)
+        self._check_size(len(values))
+        return get_backend(self.backend).ntt(self.field, values,
+                                             counter=counter)
 
     def compute_inverse(self, values, counter=None):
-        return intt(self.field, values, counter=counter, backend=self.backend)
+        self._check_size(len(values))
+        return get_backend(self.backend).intt(self.field, values,
+                                              counter=counter)
 
 
 class Groth16Prover:
@@ -76,7 +87,7 @@ class Groth16Prover:
         # engines carry their own backend choice.
         self.poly = PolyStage(
             curve.fr,
-            ntt_engine or _ReferenceNttEngine(curve.fr, backend=backend),
+            ntt_engine or _BackendNttEngine(curve.fr, backend=backend),
             backend=backend,
         )
         # MSM callables: (scalars, points) -> point. Default: direct sums.

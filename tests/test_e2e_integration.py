@@ -54,6 +54,33 @@ class TestGzkpEnginesInGroth16:
                                 msm_window=5, msm_interval=2)
         assert reference.compute_h(assignment) == gzkp.compute_h(assignment)
 
+    def test_backend_choice_preserves_proof_and_counts(self, instance):
+        """The compute backend (scalar python vs vectorized numpy)
+        changes neither the proof bits nor the curve-op totals of an
+        end-to-end Groth16 run."""
+        from repro.backend import available_backends
+        from repro.ff.opcount import OpCounter
+
+        if "numpy" not in available_backends():
+            pytest.skip("numpy backend unavailable")
+        curve, r1cs, assignment, keys = instance
+        proofs, totals = [], []
+        for backend in ("python", "numpy"):
+            gzkp = make_gzkp_prover(r1cs, keys.proving_key, curve,
+                                    msm_window=5, msm_interval=2,
+                                    backend=backend)
+            c_g1, c_g2 = OpCounter(), OpCounter()
+            curve.g1.counter = c_g1
+            curve.g2.counter = c_g2
+            try:
+                proofs.append(gzkp._prove_with_masks(assignment, 111, 222))
+            finally:
+                curve.g1.counter = None
+                curve.g2.counter = None
+            totals.append((dict(c_g1._totals), dict(c_g2._totals)))
+        assert proofs[0] == proofs[1]
+        assert totals[0] == totals[1]
+
 
 class TestWorkloadEndToEnd:
     """Small builds of the paper's workloads, proven and verified."""
