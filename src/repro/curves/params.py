@@ -158,27 +158,6 @@ def _derive_mnt_g2_generator() -> None:
         return
 
 
-def _scalar_mul_unchecked(self, k: int, p):
-    """Scalar multiplication without reducing k mod the subgroup order —
-    needed for cofactor clearing where the point is not yet in the
-    subgroup. Attached to CurveGroup here to keep the main class lean."""
-    if p is None or k == 0:
-        return None
-    o = self.ops
-    acc = (o.one, o.one, o.zero)
-    base = self.to_jacobian(p)
-    while k:
-        if k & 1:
-            acc = self.jadd(acc, base)
-        k >>= 1
-        if k:
-            base = self.jdouble(base)
-    return self.from_jacobian(acc)
-
-
-CurveGroup.scalar_mul_unchecked = _scalar_mul_unchecked
-
-
 class _LazyG2:
     """Install the MNT G2 generator on first attribute access."""
 

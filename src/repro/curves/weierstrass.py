@@ -112,8 +112,31 @@ class CurveGroup:
         return o.eq(lhs, rhs)
 
     def in_subgroup(self, point: AffinePoint) -> bool:
-        """Order-r subgroup membership (full scalar-mul check)."""
-        return self.is_on_curve(point) and self.scalar_mul(self.order, point) is None
+        """Order-r subgroup membership (full scalar-mul check).
+
+        Uses the *unreduced* ladder: ``scalar_mul`` reduces k mod the
+        subgroup order, which would turn [r]P into [0]P = infinity for
+        every on-curve point and make this check vacuous.
+        """
+        return (self.is_on_curve(point)
+                and self.scalar_mul_unchecked(self.order, point) is None)
+
+    def scalar_mul_unchecked(self, k: int, p: AffinePoint) -> AffinePoint:
+        """Scalar multiplication without reducing k mod the subgroup
+        order — for cofactor clearing and subgroup checks, where the
+        point is not (known to be) in the order-r subgroup."""
+        if p is None or k == 0:
+            return None
+        o = self.ops
+        acc: JacobianPoint = (o.one, o.one, o.zero)
+        base = self.to_jacobian(p)
+        while k:
+            if k & 1:
+                acc = self.jadd(acc, base)
+            k >>= 1
+            if k:
+                base = self.jdouble(base)
+        return self.from_jacobian(acc)
 
     # -- affine group law -----------------------------------------------------------
 

@@ -29,6 +29,14 @@ class ProofError(ReproError):
     """Proof generation or verification failure."""
 
 
+class ServiceError(ReproError):
+    """Proving-service failure (pool, wire-format or job handling)."""
+
+
+class ValidationError(ServiceError):
+    """A proof request was rejected before any proving work started."""
+
+
 class SimulationError(ReproError):
     """GPU simulation errors, including modeled out-of-memory conditions."""
 

@@ -163,9 +163,16 @@ class GzkpMsm:
 
     def compute(self, scalars: Sequence[int], points: Sequence[AffinePoint],
                 counter: Optional[OpCounter] = None,
-                table: Optional[List[List[AffinePoint]]] = None) -> AffinePoint:
+                table: Optional[List[List[AffinePoint]]] = None,
+                telemetry=None) -> AffinePoint:
         """Consolidated MSM via residual sub-buckets (the performant
-        realisation of Algorithm 1; see module docstring)."""
+        realisation of Algorithm 1; see module docstring). With
+        ``telemetry`` attached, the two kernel phases (point-merging,
+        bucket-reduction) report wall-clock sub-spans under the caller's
+        current span; op counting stays on ``counter``, whose phase
+        split carries the same two names."""
+        from repro.service.telemetry import maybe_span
+
         check_msm_inputs(self.group, scalars, points)
         if not scalars:
             return None
@@ -183,7 +190,8 @@ class GzkpMsm:
             # Sub-buckets indexed [residual w][digit - 1], flattened to
             # one bucket array so the merge is a single batch call.
             flat = [infinity] * (m * n_buckets)
-            with _maybe_phase(counter, "point-merging"):
+            with maybe_span(telemetry, "point-merging"), \
+                    _maybe_phase(counter, "point-merging"):
                 entries = []
                 for i, s in enumerate(scalars):
                     for t, d in enumerate(
@@ -211,7 +219,8 @@ class GzkpMsm:
                         buckets = backend.batch_jdouble(self.group, buckets)
                     buckets = backend.batch_jadd(self.group, buckets,
                                                  sub[residual])
-            with _maybe_phase(counter, "bucket-reduction"):
+            with maybe_span(telemetry, "bucket-reduction"), \
+                    _maybe_phase(counter, "bucket-reduction"):
                 total = bucket_reduce(self.group, buckets)
             return self.group.from_jacobian(total)
         finally:

@@ -18,7 +18,7 @@ from repro.gpusim import cost
 from repro.gpusim.device import GpuDevice
 from repro.msm.gzkp import GzkpMsm
 from repro.msm.naive import check_msm_inputs
-from repro.msm.windows import DigitStats
+from repro.msm.windows import DigitStats, num_windows
 
 __all__ = ["MultiGpuMsm"]
 
@@ -31,8 +31,10 @@ class MultiGpuMsm:
         if n_gpus < 1:
             raise MsmError("n_gpus must be >= 1")
         self.group = group
+        self.scalar_bits = scalar_bits
         self.n_gpus = n_gpus
         self.device = device
+        self._gzkp_kwargs = dict(gzkp_kwargs)
         self._engine = GzkpMsm(group, scalar_bits, device, **gzkp_kwargs)
 
     def partition(self, n: int) -> List[slice]:
@@ -69,13 +71,38 @@ class MultiGpuMsm:
     def estimate_seconds(self, n: int,
                          stats: Optional[DigitStats] = None) -> float:
         """Per-card latency (cards run concurrently) plus the inter-card
-        transfer/reduction overhead."""
+        transfer/reduction overhead.
+
+        Caller-supplied digit stats (the sparse real-world vectors of
+        Table 4's Zcash workloads) are scaled to the per-card slice —
+        same sparsity fractions, per-card n — rather than silently
+        replaced by the dense model.
+        """
         per_card = max(n // self.n_gpus, 1)
+        engine = self._engine
         if stats is not None:
-            stats = None  # per-card slices re-derive their own stats
-        card_seconds = self._engine.estimate_seconds(per_card, stats)
+            stats = stats.scaled(per_card)
+            if engine.configure(per_card).n_windows != stats.windows:
+                # Per-card profiling picked a different window than the
+                # caller's stats were enumerated at; price the slice at
+                # the stats' window so the distribution stays valid.
+                engine = self._engine_at_windows(stats.windows)
+        card_seconds = engine.estimate_seconds(per_card, stats)
         if self.n_gpus == 1:
             return card_seconds
         scaling_loss = card_seconds * (1 / cost.MULTI_GPU_EFFICIENCY - 1)
-        reduce_overhead = 5e-4 * self.n_gpus
+        reduce_overhead = cost.MULTI_GPU_REDUCE_OVERHEAD * self.n_gpus
         return card_seconds + scaling_loss + reduce_overhead
+
+    def _engine_at_windows(self, windows: int) -> GzkpMsm:
+        """A pricing engine pinned to the window size k whose digit
+        decomposition has exactly ``windows`` windows."""
+        k = -(-self.scalar_bits // windows)  # ceil; inverse of num_windows
+        if num_windows(self.scalar_bits, k) != windows:
+            raise MsmError(
+                f"digit stats with {windows} windows do not correspond "
+                f"to any window size at {self.scalar_bits} scalar bits"
+            )
+        kwargs = dict(self._gzkp_kwargs)
+        kwargs["window"] = k
+        return GzkpMsm(self.group, self.scalar_bits, self.device, **kwargs)

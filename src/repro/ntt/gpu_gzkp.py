@@ -105,6 +105,8 @@ class GzkpNtt:
                 counter: Optional[OpCounter] = None) -> List[int]:
         """Run the forward NTT with the GZKP schedule (ground-truth math,
         GPU-faithful gather/scatter order)."""
+        if len(values) == 1:  # the size-1 NTT is the identity
+            return list(values)
         return run_batched_ntt(self.field, values, self.batch_plan(len(values)),
                                counter=counter, backend=self.backend)
 
@@ -113,6 +115,8 @@ class GzkpNtt:
         from repro.backend import get_backend
 
         n = len(values)
+        if n == 1:  # identity, and inv(1) scaling is a no-op
+            return list(values)
         omega_inv = self.field.inv_root_of_unity(n)
         out = run_batched_ntt(self.field, values, self.batch_plan(n),
                               omega=omega_inv, counter=counter,

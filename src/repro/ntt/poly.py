@@ -23,6 +23,7 @@ from repro.errors import NttError
 from repro.ff.opcount import OpCounter
 from repro.ff.primefield import PrimeField
 from repro.gpusim.trace import Trace
+from repro.service.telemetry import maybe_span
 
 __all__ = ["PolyStage", "NTT_OPS_PER_PROOF"]
 
@@ -78,12 +79,17 @@ class PolyStage:
     # -- the stage ----------------------------------------------------------------
 
     def compute_h(self, a: Sequence[int], b: Sequence[int], c: Sequence[int],
-                  counter: Optional[OpCounter] = None) -> List[int]:
+                  counter: Optional[OpCounter] = None,
+                  telemetry=None) -> List[int]:
         """Coefficients of H(x) = (A(x)B(x) - C(x)) / (x^N - 1).
 
         Requires a_i * b_i == c_i on the domain (i.e. a satisfied
         constraint system); otherwise the division is inexact and the
         result meaningless — callers should have validated satisfaction.
+
+        With ``telemetry`` attached, each of the seven NTT operations
+        (and the pointwise quotient pass) reports its own sub-span under
+        the caller's current span.
         """
         n = len(a)
         if not (len(b) == len(c) == n):
@@ -92,29 +98,40 @@ class PolyStage:
             raise NttError(f"POLY stage needs a power-of-two domain, got {n}")
         p = self.field.modulus
 
-        a_coeffs = self.engine.compute_inverse(a, counter=counter)   # NTT 1
-        b_coeffs = self.engine.compute_inverse(b, counter=counter)   # NTT 2
-        c_coeffs = self.engine.compute_inverse(c, counter=counter)   # NTT 3
+        def intt(name, values):
+            with maybe_span(telemetry, name) as sp:
+                return self.engine.compute_inverse(
+                    values, counter=sp.counter if telemetry else counter)
 
-        a_coset = self.coset_ntt(a_coeffs, counter)                  # NTT 4
-        b_coset = self.coset_ntt(b_coeffs, counter)                  # NTT 5
-        c_coset = self.coset_ntt(c_coeffs, counter)                  # NTT 6
+        def coset(name, fn, values):
+            with maybe_span(telemetry, name) as sp:
+                return fn(values, sp.counter if telemetry else counter)
 
-        g = self._coset_generator()
-        z_inv = self.field.inv((pow(g, n, p) - 1) % p)
-        backend = self._backend()
-        h_coset = backend.vscale(
-            self.field,
-            backend.vsub(self.field,
-                         backend.vmul(self.field, a_coset, b_coset),
-                         c_coset),
-            z_inv,
-        )
-        if counter is not None:
-            counter.count("fr_mul", 2 * n)
-            counter.count("fr_add", n)
+        a_coeffs = intt("INTT-a", a)                                 # NTT 1
+        b_coeffs = intt("INTT-b", b)                                 # NTT 2
+        c_coeffs = intt("INTT-c", c)                                 # NTT 3
 
-        return self.coset_intt(h_coset, counter)                     # NTT 7
+        a_coset = coset("coset-NTT-a", self.coset_ntt, a_coeffs)     # NTT 4
+        b_coset = coset("coset-NTT-b", self.coset_ntt, b_coeffs)     # NTT 5
+        c_coset = coset("coset-NTT-c", self.coset_ntt, c_coeffs)     # NTT 6
+
+        with maybe_span(telemetry, "pointwise-quotient") as sp:
+            pw_counter = sp.counter if telemetry else counter
+            g = self._coset_generator()
+            z_inv = self.field.inv((pow(g, n, p) - 1) % p)
+            backend = self._backend()
+            h_coset = backend.vscale(
+                self.field,
+                backend.vsub(self.field,
+                             backend.vmul(self.field, a_coset, b_coset),
+                             c_coset),
+                z_inv,
+            )
+            if pw_counter is not None:
+                pw_counter.count("fr_mul", 2 * n)
+                pw_counter.count("fr_add", n)
+
+        return coset("coset-INTT-h", self.coset_intt, h_coset)       # NTT 7
 
     # -- analytic plan ----------------------------------------------------------------
 

@@ -1,0 +1,542 @@
+"""The concurrent proving service.
+
+GZKP's evaluation (§6) runs *batches* of proofs — Table 4's workloads
+are thousands of Zcash transactions, each one proof. This module is the
+serving layer for that shape of work: a pool of worker processes, each
+owning its own prover contexts, consuming proof jobs and returning
+serialized, *verified* proofs with a per-phase telemetry breakdown.
+
+Two levels of parallelism mirror the paper's execution model:
+
+* **across jobs** — ``workers`` processes each prove independent jobs
+  (the paper's multi-GPU batch mode assigns whole proofs to cards);
+* **within a job** — the five Groth16 MSMs share no state and are
+  dispatched to a thread pool (§5.2's observation that MSM-A/B/C/H are
+  independent kernels), when ``parallel_msm`` is on.
+
+Reliability model:
+
+* every job is validated in the parent before it is queued — bad
+  curves, unknown circuits, wrong witness arity and out-of-range
+  scalars are rejected as per-job errors, never sent to a worker;
+* a worker never dies on a job: any exception becomes an error result;
+* each job attempt has an optional wall-clock ``timeout``; on expiry
+  the worker is terminated and respawned and the job retried up to
+  ``retries`` more times before failing;
+* when the requested compute backend (or the native C kernels under
+  it) is unavailable, the job still runs — on the scalar python path —
+  and the downgrade is recorded in the job's telemetry events.
+
+Setups are deterministic per (curve, circuit): both the parent and any
+external verifier can re-derive the verifying key from the public seed
+(:func:`setup_for`), so returned proof bytes are independently
+checkable.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+from repro.backend import available_backends
+from repro.backend.native import native_available
+from repro.curves.params import CURVES
+from repro.errors import ReproError, ServiceError, ValidationError
+from repro.service import wire
+from repro.service.telemetry import Telemetry, phase_breakdown
+from repro.service.validation import validate_job_inputs
+
+__all__ = ["ProofJob", "JobResult", "ProvingService", "setup_for",
+           "SETUP_SEED_FMT"]
+
+#: Seed format for the deterministic per-(curve, circuit) trusted setup.
+#: Anyone holding the job's curve and circuit names can re-derive the
+#: verifying key and check the returned proof bytes.
+SETUP_SEED_FMT = "gzkp-service-setup:{curve}:{circuit}"
+
+
+def setup_for(curve_name: str, circuit_name: str):
+    """(r1cs, Groth16Setup) for one service circuit — the same setup
+    every worker uses, re-derivable by any party from the names."""
+    from repro.snark.keys import setup
+
+    from repro.service.registry import get_circuit
+
+    curve = CURVES[curve_name]
+    r1cs = get_circuit(circuit_name).build(curve.fr)
+    rng = random.Random(SETUP_SEED_FMT.format(curve=curve_name,
+                                              circuit=circuit_name))
+    return r1cs, setup(r1cs, curve, rng=rng)
+
+
+@dataclass(frozen=True)
+class ProofJob:
+    """One unit of service work: prove ``circuit`` over ``curve`` for
+    the supplied witness values."""
+
+    curve: str
+    circuit: str
+    witness: Tuple[int, ...]
+    backend: Optional[str] = None
+    job_id: Optional[str] = None
+
+    @classmethod
+    def from_request_bytes(cls, data: bytes,
+                           job_id: Optional[str] = None) -> "ProofJob":
+        """Decode a serialized proof request (see
+        :mod:`repro.service.wire`) into a job."""
+        req = wire.decode_request(data)
+        return cls(curve=req.curve, circuit=req.circuit,
+                   witness=tuple(req.witness), backend=req.backend,
+                   job_id=job_id)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: either serialized verified proof bytes or a
+    structured error, plus the worker's telemetry export."""
+
+    job_id: str
+    ok: bool
+    curve: str
+    circuit: str
+    proof_bytes: Optional[bytes] = None
+    public_inputs: Tuple[int, ...] = ()
+    verified: bool = False
+    backend: Optional[str] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None     # validation | proof | verify |
+    #                                      timeout | internal
+    attempts: int = 0
+    worker: Optional[int] = None
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def job_span(self) -> Optional[dict]:
+        spans = self.telemetry.get("spans") or []
+        return spans[0] if spans else None
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Top-level per-phase wall-clock breakdown (setup / POLY / MSM
+        / assemble / verify / serialize); sums to ~ the job wall."""
+        span = self.job_span
+        return phase_breakdown(span) if span else {}
+
+    def wall_seconds(self) -> float:
+        span = self.job_span
+        return span["seconds"] if span else 0.0
+
+    def downgrades(self) -> List[dict]:
+        return [e for e in self.telemetry.get("events", [])
+                if "downgrade" in e.get("kind", "")
+                or "fallback" in e.get("kind", "")]
+
+
+# -- worker side -------------------------------------------------------------------
+
+
+def _reset_backend_state() -> None:
+    """Forked workers inherit the parent's backend singletons and the
+    native-kernel load state; drop both so the worker's environment
+    (e.g. a ``REPRO_NATIVE=0`` override) is honoured from scratch."""
+    import repro.backend as backend_mod
+    import repro.backend.native as native_mod
+
+    backend_mod._INSTANCES.clear()
+    native_mod._LIB = None
+    native_mod._LOAD_ATTEMPTED = False
+    native_mod._FIELDS.clear()
+
+
+def _resolve_backend(requested: Optional[str],
+                     telemetry: Telemetry) -> str:
+    """Pick the compute backend for a job, degrading gracefully: an
+    unavailable backend falls back to the scalar python path, missing
+    native kernels under numpy are noted — both as telemetry events."""
+    name = (requested
+            or os.environ.get("REPRO_BACKEND", "python").strip()
+            or "python")
+    if name not in available_backends():
+        telemetry.record_event(
+            "backend-downgrade",
+            f"{name} -> python (backend unavailable)",
+            requested=name, used="python",
+        )
+        name = "python"
+    if name == "numpy" and not native_available():
+        telemetry.record_event(
+            "native-kernel-fallback",
+            "native C kernels unavailable: numpy scalar bucket fold",
+            backend=name,
+        )
+    elif name == "python" and not native_available():
+        telemetry.record_event(
+            "native-kernel-fallback",
+            "native C kernels unavailable: pure-python field arithmetic",
+            backend=name,
+        )
+    return name
+
+
+class _ProverContext:
+    """Per-worker cached (r1cs, keys, prover, verifier) for one
+    (curve, circuit, backend) combination."""
+
+    def __init__(self, curve_name: str, circuit_name: str, backend: str,
+                 parallel_msm: bool, msm_window: int, msm_interval: int,
+                 executor):
+        from repro.snark.gzkp_prover import make_gzkp_prover
+        from repro.snark.keys import setup
+        from repro.snark.verifier import Groth16Verifier
+
+        self.curve = CURVES[curve_name]
+        from repro.service.registry import get_circuit
+
+        self.spec = get_circuit(circuit_name)
+        self.r1cs = self.spec.build(self.curve.fr)
+        rng = random.Random(SETUP_SEED_FMT.format(curve=curve_name,
+                                                  circuit=circuit_name))
+        self.keys = setup(self.r1cs, self.curve, rng=rng)
+        self.prover = make_gzkp_prover(
+            self.r1cs, self.keys.proving_key, self.curve,
+            msm_window=msm_window, msm_interval=msm_interval,
+            backend=backend,
+            msm_executor=executor if parallel_msm else None,
+        )
+        self.verifier = Groth16Verifier(self.keys.verifying_key, self.curve)
+
+
+def _execute_job(task: dict, contexts: dict, parallel_msm: bool,
+                 msm_window: int, msm_interval: int, executor) -> dict:
+    """Run one job end to end: context setup, prove (POLY + MSMs),
+    verify, serialize — all under one telemetry span tree."""
+    from repro.snark.serialize import serialize_proof
+
+    telemetry = Telemetry()
+    result = {
+        "pos": task["pos"], "ticket": task["ticket"],
+        "job_id": task["job_id"], "ok": False,
+        "curve": task["curve"], "circuit": task["circuit"],
+    }
+    with telemetry.span("job", job_id=task["job_id"]):
+        backend = _resolve_backend(task.get("backend"), telemetry)
+        result["backend"] = backend
+        try:
+            with telemetry.span("context"):
+                key = (task["curve"], task["circuit"], backend)
+                ctx = contexts.get(key)
+                if ctx is None:
+                    ctx = contexts[key] = _ProverContext(
+                        task["curve"], task["circuit"], backend,
+                        parallel_msm, msm_window, msm_interval, executor,
+                    )
+                assignment = ctx.spec.assign(ctx.curve.fr, task["witness"])
+            proof = ctx.prover.prove(assignment, telemetry=telemetry)
+            public_inputs = tuple(
+                assignment[1:1 + ctx.r1cs.n_public]
+            )
+            with telemetry.span("verify"):
+                verified = ctx.verifier.verify(proof, public_inputs)
+            if not verified:
+                result.update(error="proof failed verification",
+                              error_kind="verify")
+            else:
+                with telemetry.span("serialize"):
+                    blob = serialize_proof(proof, ctx.curve)
+                result.update(ok=True, proof=blob, verified=True,
+                              public_inputs=public_inputs)
+        except ReproError as exc:
+            result.update(error=f"{type(exc).__name__}: {exc}",
+                          error_kind="proof")
+    result["telemetry"] = telemetry.to_dict()
+    return result
+
+
+def _worker_main(index: int, tasks, results, env: Optional[dict],
+                 parallel_msm: bool, msm_window: int,
+                 msm_interval: int) -> None:
+    """Worker process entry point: loop over tasks until the ``None``
+    sentinel. A job can fail; the worker must not."""
+    if env:
+        os.environ.update(env)
+    _reset_backend_state()
+    executor = None
+    if parallel_msm:
+        from concurrent.futures import ThreadPoolExecutor
+
+        executor = ThreadPoolExecutor(max_workers=5,
+                                      thread_name_prefix=f"msm-w{index}")
+    contexts: dict = {}
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        try:
+            result = _execute_job(task, contexts, parallel_msm,
+                                  msm_window, msm_interval, executor)
+        except BaseException as exc:  # noqa: BLE001 — worker stays alive
+            result = {
+                "pos": task["pos"], "ticket": task["ticket"],
+                "job_id": task["job_id"], "ok": False,
+                "curve": task["curve"], "circuit": task["circuit"],
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": "internal", "telemetry": {},
+            }
+        result["worker"] = index
+        results.put(result)
+    if executor is not None:
+        executor.shutdown(wait=False)
+
+
+# -- parent side -------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, ctx, index: int, results, env, parallel_msm,
+                 msm_window, msm_interval):
+        self.index = index
+        self.tasks = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(index, self.tasks, results, env, parallel_msm,
+                  msm_window, msm_interval),
+            daemon=True,
+        )
+        self.process.start()
+        self.assignment: Optional[tuple] = None   # (pos, task, attempts)
+        self.deadline: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.assignment is None
+
+    def assign(self, pos: int, task: dict, attempts: int,
+               timeout: Optional[float]) -> None:
+        self.assignment = (pos, task, attempts)
+        self.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        self.tasks.put(task)
+
+    def finish(self) -> None:
+        self.assignment = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+
+
+class ProvingService:
+    """A pool of proving workers consuming batches of proof jobs.
+
+    ``workers=0`` runs jobs inline in the calling process (no pool, no
+    timeouts) — the mode benchmarks use for a clean single-process
+    baseline. ``env`` is applied in each worker before any proving
+    (e.g. ``{"REPRO_NATIVE": "0"}`` to exercise the scalar fallback).
+    """
+
+    def __init__(self, workers: int = 2, parallel_msm: bool = True,
+                 timeout: Optional[float] = None, retries: int = 1,
+                 msm_window: int = 6, msm_interval: int = 2,
+                 env: Optional[dict] = None):
+        if workers < 0:
+            raise ServiceError("workers must be >= 0")
+        if retries < 0:
+            raise ServiceError("retries must be >= 0")
+        self.workers = workers
+        self.parallel_msm = parallel_msm
+        self.timeout = timeout
+        self.retries = retries
+        self.msm_window = msm_window
+        self.msm_interval = msm_interval
+        self.env = dict(env) if env else None
+        self._ticket = 0
+        self._job_seq = 0
+        self._pool: List[_WorkerHandle] = []
+        self._results = None
+        self._ctx = None
+        if workers:
+            # fork keeps worker startup cheap and inherits any circuits
+            # the caller registered after import; linux-only repo.
+            self._ctx = (mp.get_context("fork")
+                         if "fork" in mp.get_all_start_methods()
+                         else mp.get_context())
+            self._results = self._ctx.Queue()
+            for i in range(workers):
+                self._pool.append(self._spawn(i))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        return _WorkerHandle(self._ctx, index, self._results, self.env,
+                             self.parallel_msm, self.msm_window,
+                             self.msm_interval)
+
+    def close(self) -> None:
+        for worker in self._pool:
+            try:
+                worker.tasks.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for worker in self._pool:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.kill()
+        self._pool = []
+
+    def __enter__(self) -> "ProvingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- job intake -------------------------------------------------------------
+
+    def _as_job(self, item) -> ProofJob:
+        if isinstance(item, ProofJob):
+            return item
+        if isinstance(item, (bytes, bytearray, memoryview)):
+            return ProofJob.from_request_bytes(bytes(item))
+        raise ValidationError(
+            f"jobs must be ProofJob or request bytes, got "
+            f"{type(item).__name__}"
+        )
+
+    def _job_task(self, job: ProofJob, pos: int) -> dict:
+        self._ticket += 1
+        return {
+            "pos": pos, "ticket": self._ticket,
+            "job_id": job.job_id, "curve": job.curve,
+            "circuit": job.circuit, "witness": tuple(job.witness),
+            "backend": job.backend,
+        }
+
+    # -- the batch loop ---------------------------------------------------------
+
+    def prove_batch(self, jobs: Sequence) -> List[JobResult]:
+        """Prove a batch. Accepts :class:`ProofJob` objects and/or raw
+        request byte strings; returns one :class:`JobResult` per job,
+        in submission order."""
+        results: Dict[int, JobResult] = {}
+        pending: deque = deque()
+        for pos, item in enumerate(jobs):
+            try:
+                job = self._as_job(item)
+                if job.job_id is None:
+                    self._job_seq += 1
+                    job = ProofJob(job.curve, job.circuit, job.witness,
+                                   job.backend, f"job-{self._job_seq}")
+                validate_job_inputs(job.curve, job.circuit, job.witness)
+            except ValidationError as exc:
+                job_id = getattr(item, "job_id", None) or f"invalid-{pos}"
+                results[pos] = JobResult(
+                    job_id=job_id, ok=False,
+                    curve=getattr(item, "curve", "?"),
+                    circuit=getattr(item, "circuit", "?"),
+                    error=str(exc), error_kind="validation",
+                )
+                continue
+            pending.append((pos, self._job_task(job, pos), 1))
+
+        if not self.workers:
+            self._run_inline(pending, results)
+        else:
+            self._run_pool(pending, results)
+        return [results[pos] for pos in range(len(jobs))]
+
+    def _run_inline(self, pending: deque, results: Dict[int, JobResult]):
+        contexts: dict = {}
+        executor = None
+        if self.parallel_msm:
+            from concurrent.futures import ThreadPoolExecutor
+
+            executor = ThreadPoolExecutor(max_workers=5)
+        try:
+            while pending:
+                pos, task, attempts = pending.popleft()
+                raw = _execute_job(task, contexts, self.parallel_msm,
+                                   self.msm_window, self.msm_interval,
+                                   executor)
+                results[pos] = self._wrap(raw, attempts)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False)
+
+    def _run_pool(self, pending: deque, results: Dict[int, JobResult]):
+        inflight = 0
+        while pending or inflight:
+            for worker in self._pool:
+                if pending and worker.idle:
+                    pos, task, attempts = pending.popleft()
+                    worker.assign(pos, task, attempts, self.timeout)
+                    inflight += 1
+            try:
+                raw = self._results.get(timeout=0.05)
+            except Empty:
+                raw = None
+            if raw is not None:
+                worker = self._pool[raw["worker"]]
+                current = worker.assignment
+                if current is not None and current[1]["ticket"] == raw["ticket"]:
+                    results[current[0]] = self._wrap(raw, current[2])
+                    worker.finish()
+                    inflight -= 1
+                # else: stale result from a worker that beat its
+                # timeout-kill by a hair — the retry owns the job now.
+            now = time.monotonic()
+            for i, worker in enumerate(self._pool):
+                if worker.idle:
+                    continue
+                timed_out = (worker.deadline is not None
+                             and now > worker.deadline)
+                died = not worker.process.is_alive()
+                if not (timed_out or died):
+                    continue
+                pos, task, attempts = worker.assignment
+                worker.kill()
+                self._pool[i] = self._spawn(worker.index)
+                inflight -= 1
+                if attempts <= self.retries:
+                    # fresh ticket so any late result from the killed
+                    # attempt cannot satisfy the retried job
+                    task = dict(task, ticket=self._next_ticket())
+                    pending.append((pos, task, attempts + 1))
+                else:
+                    reason = ("timed out" if timed_out
+                              else "worker process died")
+                    results[pos] = JobResult(
+                        job_id=task["job_id"], ok=False,
+                        curve=task["curve"], circuit=task["circuit"],
+                        error=(f"{reason} after {attempts} attempt(s) "
+                               f"of {self.timeout}s"),
+                        error_kind="timeout" if timed_out else "internal",
+                        attempts=attempts, worker=worker.index,
+                    )
+
+    def _next_ticket(self) -> int:
+        self._ticket += 1
+        return self._ticket
+
+    @staticmethod
+    def _wrap(raw: dict, attempts: int) -> JobResult:
+        return JobResult(
+            job_id=raw["job_id"], ok=raw["ok"],
+            curve=raw["curve"], circuit=raw["circuit"],
+            proof_bytes=raw.get("proof"),
+            public_inputs=tuple(raw.get("public_inputs", ())),
+            verified=raw.get("verified", False),
+            backend=raw.get("backend"),
+            error=raw.get("error"), error_kind=raw.get("error_kind"),
+            attempts=attempts, worker=raw.get("worker"),
+            telemetry=raw.get("telemetry") or {},
+        )

@@ -1,0 +1,61 @@
+"""Input validation for proof jobs — reject bad work before it reaches
+a worker.
+
+A malformed job must produce a clean per-job error, never a dead
+worker, so everything cheap to check is checked up front in the parent:
+curve and circuit must be registered, the witness must have the
+circuit's exact arity, and every witness value must be a canonical
+scalar (a non-negative int below the curve's scalar-field modulus —
+the same strictness the proof deserializer applies to coordinates).
+
+The satisfiability of the resulting assignment is deliberately *not*
+checked here: it costs as much as the prover's own satisfaction pass,
+which already raises :class:`~repro.errors.ProofError` inside the
+worker's guarded job loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.curves.params import CURVES, CurvePair
+from repro.errors import ValidationError
+from repro.service.registry import CircuitSpec, get_circuit
+
+__all__ = ["validate_curve", "validate_job_inputs"]
+
+
+def validate_curve(name: str) -> CurvePair:
+    try:
+        return CURVES[name]
+    except KeyError:
+        known = ", ".join(sorted(CURVES))
+        raise ValidationError(
+            f"unknown curve {name!r} (known: {known})"
+        ) from None
+
+
+def validate_job_inputs(curve_name: str, circuit_name: str,
+                        witness: Sequence[int]) -> CircuitSpec:
+    """Validate one job's (curve, circuit, witness) triple; returns the
+    circuit spec so callers avoid a second registry lookup."""
+    curve = validate_curve(curve_name)
+    spec = get_circuit(circuit_name)
+    if len(witness) != spec.n_witness:
+        raise ValidationError(
+            f"circuit {circuit_name!r} takes {spec.n_witness} witness "
+            f"values, got {len(witness)}"
+        )
+    modulus = curve.fr.modulus
+    for i, value in enumerate(witness):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValidationError(
+                f"witness[{i}] is {type(value).__name__}, expected int"
+            )
+        if value < 0:
+            raise ValidationError(f"witness[{i}] is negative")
+        if value >= modulus:
+            raise ValidationError(
+                f"witness[{i}] >= scalar-field modulus of {curve_name}"
+            )
+    return spec

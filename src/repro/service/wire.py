@@ -1,0 +1,138 @@
+"""Wire format for proof requests.
+
+A proof request is (curve, circuit, witness, backend preference) packed
+into bytes so clients can hand the service opaque buffers — the other
+accepted job form besides in-process :class:`ProofJob` objects. The
+format is deliberately strict on decode, mirroring the proof
+serializer's non-canonical-encoding policy: bad magic, truncation,
+oversized fields and trailing bytes all raise
+:class:`~repro.errors.ValidationError` instead of yielding a
+plausible-looking job.
+
+Layout (big-endian):
+
+========  =====================================================
+bytes     meaning
+========  =====================================================
+6         magic ``b"GZKPRQ"``
+1         version (currently 1)
+1 + n     curve name (u8 length + utf-8)
+1 + n     circuit name (u8 length + utf-8)
+1 + n     backend name (u8 length + utf-8; length 0 = default)
+2         witness count (u16)
+per item  u16 byte-length + unsigned big-endian integer
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["MAGIC", "WIRE_VERSION", "ProofRequest", "encode_request",
+           "decode_request"]
+
+MAGIC = b"GZKPRQ"
+WIRE_VERSION = 1
+
+_MAX_NAME = 255
+_MAX_WITNESS = 0xFFFF
+_MAX_INT_BYTES = 0xFFFF
+
+
+@dataclass(frozen=True)
+class ProofRequest:
+    """A decoded proof request — what the service turns into a job."""
+
+    curve: str
+    circuit: str
+    witness: Tuple[int, ...]
+    backend: Optional[str] = None
+    meta: dict = field(default_factory=dict)
+
+
+def _encode_name(value: str, what: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > _MAX_NAME:
+        raise ValidationError(f"{what} name too long ({len(raw)} bytes)")
+    return bytes([len(raw)]) + raw
+
+
+def encode_request(curve: str, circuit: str, witness: Sequence[int],
+                   backend: Optional[str] = None) -> bytes:
+    """Pack one proof request into its wire form."""
+    if len(witness) > _MAX_WITNESS:
+        raise ValidationError(f"witness too long ({len(witness)} values)")
+    out = bytearray()
+    out += MAGIC
+    out.append(WIRE_VERSION)
+    out += _encode_name(curve, "curve")
+    out += _encode_name(circuit, "circuit")
+    out += _encode_name(backend or "", "backend")
+    out += struct.pack(">H", len(witness))
+    for value in witness:
+        if value < 0:
+            raise ValidationError("witness values must be non-negative")
+        raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        if len(raw) > _MAX_INT_BYTES:
+            raise ValidationError("witness value too large to encode")
+        out += struct.pack(">H", len(raw))
+        out += raw
+    return bytes(out)
+
+
+class _Reader:
+    """Cursor over a request buffer that fails loudly on truncation."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int, what: str) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ValidationError(f"truncated request: {what}")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u16(self, what: str) -> int:
+        return struct.unpack(">H", self.take(2, what))[0]
+
+    def name(self, what: str) -> str:
+        raw = self.take(self.u8(f"{what} length"), what)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ValidationError(f"invalid utf-8 in {what}") from None
+
+
+def decode_request(data: bytes) -> ProofRequest:
+    """Strictly decode a request buffer; raises ValidationError on any
+    malformation (wrong magic/version, truncation, trailing bytes)."""
+    reader = _Reader(bytes(data))
+    if reader.take(len(MAGIC), "magic") != MAGIC:
+        raise ValidationError("bad magic: not a proof request")
+    version = reader.u8("version")
+    if version != WIRE_VERSION:
+        raise ValidationError(f"unsupported request version {version}")
+    curve = reader.name("curve name")
+    circuit = reader.name("circuit name")
+    backend = reader.name("backend name")
+    count = reader.u16("witness count")
+    witness: List[int] = []
+    for i in range(count):
+        length = reader.u16(f"witness[{i}] length")
+        witness.append(int.from_bytes(reader.take(length, f"witness[{i}]"),
+                                      "big"))
+    if reader.pos != len(reader.data):
+        raise ValidationError(
+            f"trailing bytes after request ({len(reader.data) - reader.pos})"
+        )
+    return ProofRequest(curve=curve, circuit=circuit,
+                        witness=tuple(witness), backend=backend or None)

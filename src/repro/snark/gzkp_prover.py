@@ -27,7 +27,7 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
                      device: GpuDevice = V100,
                      msm_window: Optional[int] = None,
                      msm_interval: Optional[int] = None,
-                     backend=None) -> Groth16Prover:
+                     backend=None, msm_executor=None) -> Groth16Prover:
     """A Groth16 prover whose POLY stage runs the GZKP shuffle-less NTT
     and whose MSMs run the consolidated checkpointed algorithm.
 
@@ -35,7 +35,9 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
     test scales where profiling targets (GPU occupancy) are meaningless.
     ``backend`` (a ComputeBackend, name or None = $REPRO_BACKEND)
     reaches every engine in the pipeline: the GZKP NTT, both MSMs and
-    the prover's pointwise POLY passes.
+    the prover's pointwise POLY passes. ``msm_executor`` (an optional
+    ``concurrent.futures.Executor``) dispatches the five MSMs as
+    parallel tasks.
     """
     ntt_engine = GzkpNtt(curve.fr, device, backend=backend)
     msm_g1 = GzkpMsm(curve.g1, curve.fr.bits, device,
@@ -45,11 +47,14 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
                      window=msm_window, interval=msm_interval,
                      fq_mul_factor=3.0, backend=backend)
 
-    def run_g1(scalars, points):
-        return msm_g1.compute(list(scalars), list(points))
+    def run_g1(scalars, points, counter=None, telemetry=None):
+        return msm_g1.compute(list(scalars), list(points), counter=counter,
+                              telemetry=telemetry)
 
-    def run_g2(scalars, points):
-        return msm_g2.compute(list(scalars), list(points))
+    def run_g2(scalars, points, counter=None, telemetry=None):
+        return msm_g2.compute(list(scalars), list(points), counter=counter,
+                              telemetry=telemetry)
 
     return Groth16Prover(r1cs, pk, curve, ntt_engine=ntt_engine,
-                         msm_g1=run_g1, msm_g2=run_g2, backend=backend)
+                         msm_g1=run_g1, msm_g2=run_g2, backend=backend,
+                         msm_executor=msm_executor)

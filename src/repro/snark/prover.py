@@ -18,7 +18,9 @@ proof is valid regardless of which *system model* computed it.
 
 from __future__ import annotations
 
+import inspect
 import random
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -26,7 +28,9 @@ from repro.backend import get_backend
 from repro.curves.params import CurvePair
 from repro.curves.weierstrass import AffinePoint
 from repro.errors import NttError, ProofError
+from repro.ff.opcount import OpCounter
 from repro.ntt.poly import PolyStage
+from repro.service.telemetry import Telemetry, maybe_span
 from repro.snark.keys import ProvingKey
 from repro.snark.r1cs import R1CS
 
@@ -77,7 +81,8 @@ class Groth16Prover:
     """Proof generation for one (R1CS, proving key) pair."""
 
     def __init__(self, r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
-                 ntt_engine=None, msm_g1=None, msm_g2=None, backend=None):
+                 ntt_engine=None, msm_g1=None, msm_g2=None, backend=None,
+                 msm_executor=None):
         self.r1cs = r1cs
         self.pk = pk
         self.curve = curve
@@ -90,55 +95,138 @@ class Groth16Prover:
             ntt_engine or _BackendNttEngine(curve.fr, backend=backend),
             backend=backend,
         )
-        # MSM callables: (scalars, points) -> point. Default: direct sums.
+        # MSM callables: (scalars, points[, counter, telemetry]) -> point.
+        # Default: direct sums. Legacy two-argument callables still work.
         self._msm_g1 = msm_g1 or self._naive_msm_factory(curve.g1)
         self._msm_g2 = msm_g2 or self._naive_msm_factory(curve.g2)
+        #: optional concurrent.futures.Executor: the five MSMs of §5.2
+        #: share no state and are dispatched to it as parallel tasks
+        #: (the service sets this; None = sequential)
+        self.msm_executor = msm_executor
+        # Op counting flows through CurveGroup.counter, which is shared
+        # per group; when MSMs on one group run concurrently *with
+        # counting active*, serialise them so the per-MSM attribution
+        # stays meaningful.
+        self._group_locks = {id(curve.g1): threading.Lock(),
+                             id(curve.g2): threading.Lock()}
 
     @staticmethod
     def _naive_msm_factory(group):
-        def run(scalars, points):
-            acc = None
-            for s, p in zip(scalars, points):
-                if s:
-                    acc = group.add(acc, group.scalar_mul(s, p))
-            return acc
+        def run(scalars, points, counter: Optional[OpCounter] = None):
+            previous = group.counter
+            if counter is not None:
+                group.counter = counter
+            try:
+                acc = None
+                for s, p in zip(scalars, points):
+                    if s:
+                        acc = group.add(acc, group.scalar_mul(s, p))
+                return acc
+            finally:
+                group.counter = previous
         return run
 
     # -- stages ---------------------------------------------------------------------
 
-    def compute_h(self, assignment: Sequence[int]) -> Sequence[int]:
+    def compute_h(self, assignment: Sequence[int],
+                  counter: Optional[OpCounter] = None,
+                  telemetry: Optional[Telemetry] = None) -> Sequence[int]:
         """POLY stage: quotient coefficients from the abc evaluations."""
         a_vec, b_vec, c_vec = self.r1cs.abc_evaluations(assignment)
-        return self.poly.compute_h(a_vec, b_vec, c_vec)
+        return self.poly.compute_h(a_vec, b_vec, c_vec, counter=counter,
+                                   telemetry=telemetry)
 
     def prove(self, assignment: Sequence[int],
-              rng: Optional[random.Random] = None) -> Proof:
-        """Generate a proof for a satisfying assignment."""
-        if not self.r1cs.is_satisfied(assignment):
-            raise ProofError("assignment does not satisfy the constraint system")
+              rng: Optional[random.Random] = None,
+              telemetry: Optional[Telemetry] = None) -> Proof:
+        """Generate a proof for a satisfying assignment. With
+        ``telemetry`` attached, the run reports a per-phase span tree:
+        setup / POLY / MSM (with per-MSM children) / assemble."""
+        with maybe_span(telemetry, "setup"):
+            if not self.r1cs.is_satisfied(assignment):
+                raise ProofError(
+                    "assignment does not satisfy the constraint system"
+                )
         if rng is None:
             rng = random.Random()
         fr = self.curve.fr
         r_mask = rng.randrange(fr.modulus)
         s_mask = rng.randrange(fr.modulus)
-        return self._prove_with_masks(assignment, r_mask, s_mask)
+        return self._prove_with_masks(assignment, r_mask, s_mask,
+                                      telemetry=telemetry)
+
+    # -- MSM dispatch ---------------------------------------------------------------
+
+    def _call_msm(self, fn, scalars, points, counter, telemetry):
+        """Invoke an MSM callable, passing counter/telemetry only when
+        its signature accepts them (user-supplied engines may not)."""
+        kwargs = {}
+        try:
+            params = inspect.signature(fn).parameters
+            if "counter" in params:
+                kwargs["counter"] = counter
+            if "telemetry" in params:
+                kwargs["telemetry"] = telemetry
+        except (TypeError, ValueError):  # builtins / C callables
+            pass
+        return fn(scalars, points, **kwargs)
+
+    def _dispatch_msms(self, tasks, telemetry, parent):
+        """Run the (name, fn, group, scalars, points) MSM tasks —
+        through ``msm_executor`` when set, else sequentially — each in
+        its own child span. Counting is attributed through the shared
+        per-group counter, so concurrent counted MSMs on the same group
+        take that group's lock."""
+
+        def run(name, fn, group, scalars, points):
+            with maybe_span(telemetry, name, parent=parent) as sp:
+                lock = self._group_locks.get(id(group))
+                if sp.counter is not None and lock is not None:
+                    with lock:
+                        return self._call_msm(fn, scalars, points,
+                                              sp.counter, telemetry)
+                return self._call_msm(fn, scalars, points, sp.counter,
+                                      telemetry)
+
+        if self.msm_executor is not None:
+            futures = [self.msm_executor.submit(run, *task)
+                       for task in tasks]
+            return [f.result() for f in futures]
+        return [run(*task) for task in tasks]
 
     def _prove_with_masks(self, assignment: Sequence[int], r_mask: int,
-                          s_mask: int) -> Proof:
+                          s_mask: int,
+                          telemetry: Optional[Telemetry] = None) -> Proof:
         g1, g2 = self.curve.g1, self.curve.g2
         pk = self.pk
 
         # POLY stage.
-        h = self.compute_h(assignment)
+        with maybe_span(telemetry, "POLY") as poly_span:
+            h = self.compute_h(assignment, counter=poly_span.counter,
+                               telemetry=telemetry)
 
-        # MSM stage: the five MSMs of §5.2.
-        sum_a = self._msm_g1(assignment, pk.a_query)                   # MSM 1
-        sum_b_g1 = self._msm_g1(assignment, pk.b_g1_query)             # MSM 2
-        sum_b_g2 = self._msm_g2(assignment, pk.b_g2_query)             # MSM 3
+        # MSM stage: the five MSMs of §5.2 — independent tasks.
         witness = assignment[1 + pk.n_public:]
-        sum_c = self._msm_g1(witness, pk.c_query)                      # MSM 4
-        h_term = self._msm_g1(list(h)[: len(pk.h_query)], pk.h_query)  # MSM 5
+        tasks = [
+            ("MSM-A", self._msm_g1, g1, assignment, pk.a_query),
+            ("MSM-B-G1", self._msm_g1, g1, assignment, pk.b_g1_query),
+            ("MSM-B-G2", self._msm_g2, g2, assignment, pk.b_g2_query),
+            ("MSM-C", self._msm_g1, g1, witness, pk.c_query),
+            ("MSM-H", self._msm_g1, g1, list(h)[: len(pk.h_query)],
+             pk.h_query),
+        ]
+        with maybe_span(telemetry, "MSM") as msm_span:
+            parent = msm_span if telemetry is not None else None
+            sum_a, sum_b_g1, sum_b_g2, sum_c, h_term = self._dispatch_msms(
+                tasks, telemetry, parent
+            )
 
+        with maybe_span(telemetry, "assemble"):
+            return self._assemble(g1, g2, pk, sum_a, sum_b_g1, sum_b_g2,
+                                  sum_c, h_term, r_mask, s_mask)
+
+    def _assemble(self, g1, g2, pk, sum_a, sum_b_g1, sum_b_g2, sum_c,
+                  h_term, r_mask: int, s_mask: int) -> Proof:
         # A = alpha + sum_a + r * delta
         a_point = g1.add(
             g1.add(pk.alpha_g1, sum_a),

@@ -11,6 +11,14 @@ Wire formats follow the conventions real provers use:
   every curve here).
 * **Proofs** — A || B || C compressed (the "few hundred bytes" of §2.1).
 * **Verifying keys** — the four header points plus the IC vector.
+
+Decoding is strict: every valid point has exactly one encoding. An
+infinity flag with any nonzero payload byte, a coordinate limb >= the
+field modulus, an x off the curve, or a point outside the prime-order
+subgroup (cofactor > 1 curves have small-subgroup points on the curve
+equation) are all rejected with :class:`~repro.errors.ProofError` —
+this module is the boundary a proving service exposes to untrusted
+clients.
 """
 
 from __future__ import annotations
@@ -96,15 +104,43 @@ def compress_g1(group: CurveGroup, point: AffinePoint) -> bytes:
     return bytes([flag]) + x.to_bytes(n, "big")
 
 
-def decompress_g1(group: CurveGroup, data: bytes) -> AffinePoint:
+def _check_infinity_payload(data: bytes, what: str) -> None:
+    """An infinity encoding must be the flag byte alone: any nonzero
+    payload byte (or a stray sign bit) would give infinity a second
+    encoding."""
+    if data[0] != _FLAG_INFINITY or any(data[1:]):
+        raise ProofError(
+            f"non-canonical {what} encoding: infinity flag with "
+            "nonzero payload"
+        )
+
+
+def _check_subgroup(group: CurveGroup, point: AffinePoint,
+                    what: str) -> None:
+    if not group.in_subgroup(point):
+        raise ProofError(
+            f"invalid {what} encoding: point is not in the prime-order "
+            "subgroup"
+        )
+
+
+def decompress_g1(group: CurveGroup, data: bytes,
+                  check_subgroup: bool = True) -> AffinePoint:
     n = _fq_bytes(group)
     if len(data) != n + 1:
         raise ProofError(f"G1 encoding must be {n + 1} bytes, got {len(data)}")
     flag = data[0]
     if flag & _FLAG_INFINITY:
+        _check_infinity_payload(data, "G1")
         return None
+    if flag & ~_FLAG_Y_ODD:
+        raise ProofError(f"invalid G1 encoding: unknown flag bits {flag:#04x}")
     x = int.from_bytes(data[1:], "big")
     field = group.coord_field
+    if x >= field.modulus:
+        raise ProofError(
+            "non-canonical G1 encoding: x-coordinate >= field modulus"
+        )
     rhs = field.add(field.add(field.pow(x, 3), field.mul(group.a, x)), group.b)
     y = fq_sqrt(field.modulus, rhs)
     if y is None:
@@ -114,6 +150,8 @@ def decompress_g1(group: CurveGroup, data: bytes) -> AffinePoint:
     point = (x, y)
     if not group.is_on_curve(point):  # pragma: no cover - defensive
         raise ProofError("decompressed point failed the curve check")
+    if check_subgroup:
+        _check_subgroup(group, point, "G1")
     return point
 
 
@@ -134,7 +172,8 @@ def compress_g2(group: CurveGroup, point: AffinePoint) -> bytes:
             + x.coeffs[1].to_bytes(n, "big"))
 
 
-def decompress_g2(group: CurveGroup, data: bytes) -> AffinePoint:
+def decompress_g2(group: CurveGroup, data: bytes,
+                  check_subgroup: bool = True) -> AffinePoint:
     n = _fq_bytes(group)
     if len(data) != 2 * n + 1:
         raise ProofError(
@@ -142,12 +181,19 @@ def decompress_g2(group: CurveGroup, data: bytes) -> AffinePoint:
         )
     flag = data[0]
     if flag & _FLAG_INFINITY:
+        _check_infinity_payload(data, "G2")
         return None
+    if flag & ~_FLAG_Y_ODD:
+        raise ProofError(f"invalid G2 encoding: unknown flag bits {flag:#04x}")
     field = group.coord_field
-    x = field.element([
-        int.from_bytes(data[1:n + 1], "big"),
-        int.from_bytes(data[n + 1:], "big"),
-    ])
+    c0 = int.from_bytes(data[1:n + 1], "big")
+    c1 = int.from_bytes(data[n + 1:], "big")
+    if c0 >= field.base.modulus or c1 >= field.base.modulus:
+        raise ProofError(
+            "non-canonical G2 encoding: x-coordinate component >= "
+            "field modulus"
+        )
+    x = field.element([c0, c1])
     rhs = x * x * x + group.a * x + group.b
     y = fq2_sqrt(field, rhs)
     if y is None:
@@ -159,6 +205,8 @@ def decompress_g2(group: CurveGroup, data: bytes) -> AffinePoint:
     point = (x, y)
     if not group.is_on_curve(point):  # pragma: no cover - defensive
         raise ProofError("decompressed point failed the curve check")
+    if check_subgroup:
+        _check_subgroup(group, point, "G2")
     return point
 
 
