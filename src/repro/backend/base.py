@@ -75,6 +75,24 @@ class ComputeBackend:
         """Montgomery's trick: one inversion plus 3(n-1) multiplications."""
         return field.batch_inv(xs)
 
+    # -- scalar front-end -------------------------------------------------------
+
+    def digits_matrix(self, scalars: Sequence[int], scalar_bits: int,
+                      window: int) -> Sequence[Sequence[int]]:
+        """Base-2^k digit matrix of a whole scalar vector: row i holds
+        :func:`repro.msm.windows.scalar_digits` of ``scalars[i]``
+        (least-significant window first).
+
+        This is the MSM scalar front-end — every windowed engine starts
+        here. The return value is any row-iterable matrix whose rows
+        equal the per-scalar digit lists (the numpy backend returns an
+        ``(n, windows)`` int64 array; callers that can exploit the array
+        form duck-type on ``.nonzero``). Digit values are always exactly
+        those of the scalar loop."""
+        from repro.msm.windows import scalar_digits
+
+        return [scalar_digits(s, scalar_bits, window) for s in scalars]
+
     # -- fused NTT sweeps -------------------------------------------------------
 
     def ntt(self, field, values: Sequence[int], omega: Optional[int] = None,
@@ -154,6 +172,27 @@ class ComputeBackend:
         for idx, point in entries:
             buckets[idx] = group.jmixed_add(buckets[idx], point)
         return buckets
+
+    def bucket_reduce(self, group, buckets: Sequence):
+        """Bucket-reduction: sum of (j+1) * buckets[j] over Jacobian
+        buckets, returned as a Jacobian point.
+
+        This default is the exact ordered running-suffix fold of
+        :func:`repro.msm.pippenger.bucket_reduce` (2 jadds per bucket),
+        counting through ``group.counter`` as the fold always has.
+        Overrides MAY reassociate (e.g. the numpy backend's log-depth
+        batched suffix scan) under the same contract as
+        :meth:`accumulate_buckets`: the result may be any group-equal
+        Jacobian representative (every consumer normalizes via
+        ``group.from_jacobian``), and the PADD totals emitted must match
+        the ordered fold's exactly. The ordered fold skips counting
+        when an operand is the point at infinity (empty buckets), so
+        reassociating overrides must reproduce that data-dependent
+        count; the one divergence window is a bucket colliding with a
+        partial suffix sum — a discrete-log event for honest inputs."""
+        from repro.msm.pippenger import bucket_reduce
+
+        return bucket_reduce(group, buckets)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

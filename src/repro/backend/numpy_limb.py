@@ -358,6 +358,51 @@ class NumpyLimbBackend(ComputeBackend):
             prod[:, j:j + lg] += a * b[:, j:j + 1]
         return self._wide_egress(geom, prod, nl)
 
+    # -- scalar front-end -------------------------------------------------------
+
+    def digits_matrix(self, scalars: Sequence[int], scalar_bits: int,
+                      window: int) -> "_np.ndarray":
+        """All windows of all scalars at once: the scalar vector becomes
+        one little-endian 32-bit word matrix, and each window column is
+        two word lanes shifted and masked — no per-(scalar, window)
+        Python loop. Returns an ``(n, windows)`` int64 array whose rows
+        equal :func:`repro.msm.windows.scalar_digits` exactly."""
+        from repro.msm.windows import num_windows
+
+        w = num_windows(scalar_bits, window)
+        n = len(scalars)
+        if n == 0:
+            return _np.zeros((0, w), dtype=_np.int64)
+        if window > 30:
+            # Two 32-bit word lanes cover any window <= 30 without
+            # overflowing int64; wider windows take the scalar loop.
+            return _np.array(super().digits_matrix(scalars, scalar_bits,
+                                                   window), dtype=_np.int64)
+        # Cover every bit any window reads (the top window may reach
+        # past scalar_bits), plus one guard word for the two-lane reads.
+        w32 = (max(scalar_bits, w * window) + 31) // 32
+        try:
+            buf = b"".join(s.to_bytes(4 * w32, "little") for s in scalars)
+        except OverflowError:
+            # Negative (raises MsmError downstream) or oversized
+            # scalars: delegate to the exact scalar path.
+            return _np.array(super().digits_matrix(scalars, scalar_bits,
+                                                   window), dtype=_np.int64)
+        words = _np.frombuffer(buf, dtype="<u4").reshape(n, w32)
+        words = _np.concatenate(
+            [words.astype(_np.int64),
+             _np.zeros((n, 1), dtype=_np.int64)], axis=1,
+        )
+        mask = (1 << window) - 1
+        out = _np.empty((n, w), dtype=_np.int64)
+        for t in range(w):
+            wi, r = divmod(t * window, 32)
+            acc = words[:, wi] >> r
+            if r + window > 32:
+                acc = acc | (words[:, wi + 1] << (32 - r))
+            _np.bitwise_and(acc, mask, out=out[:, t])
+        return out
+
     # -- batch curve ops --------------------------------------------------------
 
     def batch_jdouble(self, group, points: Sequence) -> List:
@@ -388,6 +433,78 @@ class NumpyLimbBackend(ComputeBackend):
         if out is None:  # too small / unsupported field / no native kernels
             return super().accumulate_buckets(group, buckets, entries)
         return out
+
+    def bucket_reduce(self, group, buckets: Sequence):
+        """Log-depth batched suffix scan: suffix sums via Hillis-Steele
+        rounds of :meth:`batch_jadd`, then a log-depth tree sum — the
+        parallel-prefix structure of §4.1's final step, with each round
+        one SoA batch call instead of a serial 2-PADD-per-bucket chain.
+
+        Count contract (see the base method): the scan performs more
+        jadds than the ordered fold, so counting is detached from the
+        group during the batched rounds and the fold's exact
+        data-dependent PADD total — derivable from the bucket infinity
+        mask alone, outside the documented discrete-log-rare collision
+        window — is emitted analytically, keeping python/numpy op
+        totals identical."""
+        from repro.backend import numpy_curve as _nc
+
+        m = len(buckets)
+        if m < _nc.MIN_VECTOR_LANES:
+            return super().bucket_reduce(group, buckets)
+
+        counter = group.counter
+        if counter is not None:
+            # The ordered fold counts one padd per jadd whose operands
+            # are both finite; running/total go (and stay) finite as
+            # soon as they absorb the first finite bucket. One formal
+            # equality exists: right after the first finite bucket, if
+            # the next bucket is empty, total == running (both equal
+            # that bucket) and jadd routes to jdouble — the only
+            # mask-determined pdbl in the fold.
+            padds = pdbl = 0
+            seen = 0
+            first = None
+            for t, b in enumerate(reversed(buckets)):
+                finite = not group.jis_infinity(b)
+                if finite:
+                    seen += 1
+                    if first is None:
+                        first = t
+                    elif seen > 1:
+                        padds += 1          # running-chain add
+                if first is not None and t > first:
+                    padds += 1              # total-chain event
+                    if t == first + 1 and not finite:
+                        pdbl += 1           # equality -> jdouble
+            if padds:
+                counter.count("padd", padds)
+            if pdbl:
+                counter.count("pdbl", pdbl)
+            group.counter = None
+        try:
+            # suffix[j] = buckets[j] + ... + buckets[m-1]: a prefix scan
+            # over the reversed array, log2(m) batched rounds.
+            suffix = list(reversed(buckets))
+            distance = 1
+            while distance < m:
+                merged = self.batch_jadd(group, suffix[distance:],
+                                         suffix[:m - distance])
+                suffix[distance:] = merged
+                distance <<= 1
+            # total = sum of all suffix sums, as a log-depth tree.
+            values = suffix
+            while len(values) > 1:
+                half = len(values) // 2
+                paired = self.batch_jadd(group, values[0:2 * half:2],
+                                         values[1:2 * half:2])
+                if len(values) % 2:
+                    paired.append(values[-1])
+                values = paired
+            return values[0]
+        finally:
+            if counter is not None:
+                group.counter = counter
 
     @staticmethod
     def _wide_egress(geom: _Geometry, prod: "_np.ndarray",

@@ -7,6 +7,7 @@ from repro.msm.windows import DigitStats, bucket_histogram, num_windows, scalar_
 from repro.msm.naive import naive_msm
 from repro.msm.pippenger import SubMsmPippenger, bucket_reduce
 from repro.msm.straus import StrausMsm
+from repro.msm.context import MsmContext, MsmContextCache
 from repro.msm.gzkp import GzkpMsm, GzkpMsmConfig
 from repro.msm.cpu import CpuMsm, optimal_cpu_window
 from repro.msm.scheduling import (
@@ -33,6 +34,8 @@ __all__ = [
     "StrausMsm",
     "GzkpMsm",
     "GzkpMsmConfig",
+    "MsmContext",
+    "MsmContextCache",
     "CpuMsm",
     "optimal_cpu_window",
     "TaskGroup",

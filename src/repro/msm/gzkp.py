@@ -47,6 +47,7 @@ from repro.msm.common import (
     coord_bits,
     jacobian_point_bytes,
 )
+from repro.msm.context import MsmContext, check_table
 from repro.msm.naive import check_msm_inputs
 from repro.msm.pippenger import bucket_reduce
 from repro.msm.windows import DigitStats, num_windows, scalar_digits
@@ -86,6 +87,10 @@ class GzkpMsm:
         self.use_dfp_library = use_dfp_library
         #: compute backend (name, instance or None = $REPRO_BACKEND)
         self.backend = backend
+        #: memoized configure(n) results — the k=6..24 profiling search
+        #: runs once per MSM scale, not once per call (§4.1 runs it
+        #: "once per application")
+        self._cfg_cache: dict = {}
 
     def _compute_backend(self):
         from repro.backend import get_backend
@@ -99,19 +104,28 @@ class GzkpMsm:
         cost model over candidate window sizes k — each with the smallest
         checkpoint interval M whose table fits the preprocessing memory
         budget — and keep the fastest. This joint search is the
-        "profiling" the paper performs once per application."""
+        "profiling" the paper performs once per application — so the
+        result is memoized per n and the search never reruns for a
+        scale this engine has already profiled."""
+        cfg = self._cfg_cache.get(n)
+        if cfg is not None:
+            return cfg
         if self._window_override is not None:
             k = self._window_override
-            m = self._interval_for(n, k)
-            return self._make_config(n, k, m)
-        best_cfg = None
-        best_time = float("inf")
-        for k in range(6, 25):
             cfg = self._make_config(n, k, self._interval_for(n, k))
-            seconds = self.device.time_of(self._plan_with_cfg(n, cfg, None))
-            if seconds < best_time:
-                best_cfg, best_time = cfg, seconds
-        return best_cfg
+        else:
+            best_cfg = None
+            best_time = float("inf")
+            for k in range(6, 25):
+                cand = self._make_config(n, k, self._interval_for(n, k))
+                seconds = self.device.time_of(
+                    self._plan_with_cfg(n, cand, None)
+                )
+                if seconds < best_time:
+                    best_cfg, best_time = cand, seconds
+            cfg = best_cfg
+        self._cfg_cache[n] = cfg
+        return cfg
 
     def _interval_for(self, n: int, k: int) -> int:
         if self._interval_override is not None:
@@ -159,30 +173,87 @@ class GzkpMsm:
             rows.append([self.group.from_jacobian(jp) for jp in jps])
         return rows
 
+    def build_context(self, points: Sequence[AffinePoint],
+                      counter: Optional[OpCounter] = None,
+                      telemetry=None, label: str = "") -> MsmContext:
+        """Resolve the config for this point vector and preprocess its
+        checkpoint table once, returning the bound
+        :class:`~repro.msm.context.MsmContext` — the amortized artefact
+        every later ``compute(..., context=ctx)`` over the same points
+        reuses. Checkpoint doublings are attributed to a dedicated
+        ``preprocess`` phase on ``counter`` (and a ``preprocess``
+        telemetry span), kept separate from the per-MSM kernel phases
+        so Table 7/8 parity is unaffected."""
+        from repro.service.telemetry import maybe_span
+
+        n = len(points)
+        cfg = self.configure(n)
+        with maybe_span(telemetry, "preprocess", label=label, n=n) as sp:
+            c = counter if counter is not None else sp.counter
+            previous = self.group.counter
+            if c is not None:
+                self.group.counter = c
+            try:
+                with _maybe_phase(c, "preprocess"):
+                    table = self.preprocess(points, cfg)
+            finally:
+                self.group.counter = previous
+        return MsmContext(group=self.group, scalar_bits=self.scalar_bits,
+                          n=n, cfg=cfg, table=table, label=label)
+
     # -- functional execution --------------------------------------------------------------
 
     def compute(self, scalars: Sequence[int], points: Sequence[AffinePoint],
                 counter: Optional[OpCounter] = None,
                 table: Optional[List[List[AffinePoint]]] = None,
-                telemetry=None) -> AffinePoint:
+                telemetry=None,
+                context: Optional[MsmContext] = None) -> AffinePoint:
         """Consolidated MSM via residual sub-buckets (the performant
-        realisation of Algorithm 1; see module docstring). With
-        ``telemetry`` attached, the two kernel phases (point-merging,
-        bucket-reduction) report wall-clock sub-spans under the caller's
-        current span; op counting stays on ``counter``, whose phase
-        split carries the same two names."""
+        realisation of Algorithm 1; see module docstring).
+
+        With ``context`` (from :meth:`build_context`) the profiling
+        search and checkpoint build are both skipped — the amortized
+        per-proof path. A raw ``table`` is validated against the
+        resolved config (a table preprocessed under a different config
+        would silently mis-weight every entry); with neither, the table
+        is built in-call and its doublings are counted under a
+        dedicated ``preprocess`` phase/span. With ``telemetry``
+        attached, the kernel phases (point-merging, bucket-reduction)
+        report wall-clock sub-spans under the caller's current span; op
+        counting stays on ``counter``, whose phase split carries the
+        same names."""
         from repro.service.telemetry import maybe_span
 
         check_msm_inputs(self.group, scalars, points)
         if not scalars:
             return None
         cfg = self.configure(len(scalars))
-        if table is None:
-            table = self.preprocess(points, cfg)
+        if context is not None:
+            if table is not None and table is not context.table:
+                raise MsmError("pass either table= or context=, not both")
+            if not context.matches(self.group, len(points)):
+                raise MsmError(
+                    f"MSM context bound to {context.n} point(s) on "
+                    f"{getattr(context.group, 'name', '?')}; call is "
+                    f"{len(points)} point(s) on {self.group.name}"
+                )
+            if context.cfg != cfg:
+                raise MsmError(
+                    f"MSM context preprocessed under {context.cfg}, "
+                    f"but this engine resolves {cfg} for n={len(scalars)}"
+                )
+            table = context.table
+        elif table is not None:
+            check_table(table, cfg, len(points))
+        previous = self.group.counter
         if counter is not None:
             self.group.counter = counter
         backend = self._compute_backend()
         try:
+            if table is None:
+                with maybe_span(telemetry, "preprocess"), \
+                        _maybe_phase(counter, "preprocess"):
+                    table = self.preprocess(points, cfg)
             o = self.group.ops
             infinity = (o.one, o.one, o.zero)
             k, m = cfg.window, cfg.interval
@@ -192,17 +263,34 @@ class GzkpMsm:
             flat = [infinity] * (m * n_buckets)
             with maybe_span(telemetry, "point-merging"), \
                     _maybe_phase(counter, "point-merging"):
-                entries = []
-                for i, s in enumerate(scalars):
-                    for t, d in enumerate(
-                        scalar_digits(s, self.scalar_bits, k)
-                    ):
-                        if not d:
-                            continue
-                        block, residual = divmod(t, m)
-                        entries.append(
-                            (residual * n_buckets + d - 1, table[block][i])
-                        )
+                # Scalar front-end: every window of every scalar in one
+                # backend call (vectorized word extraction on numpy).
+                dm = backend.digits_matrix(scalars, self.scalar_bits, k)
+                if hasattr(dm, "nonzero"):
+                    # Array form: entry construction touches only the
+                    # nonzero digits, with the index arithmetic done on
+                    # whole vectors. Row-major nonzero order preserves
+                    # the scalar loop's exact entry order.
+                    nz_i, nz_t = dm.nonzero()
+                    digits = dm[nz_i, nz_t]
+                    blocks = nz_t // m
+                    flat_idx = (nz_t - blocks * m) * n_buckets + digits - 1
+                    entries = [
+                        (ix, table[b][i])
+                        for ix, b, i in zip(flat_idx.tolist(),
+                                            blocks.tolist(), nz_i.tolist())
+                    ]
+                else:
+                    entries = []
+                    for i, row in enumerate(dm):
+                        for t, d in enumerate(row):
+                            if not d:
+                                continue
+                            block, residual = divmod(t, m)
+                            entries.append(
+                                (residual * n_buckets + d - 1,
+                                 table[block][i])
+                            )
                 # Backends may reassociate each bucket's sum (the numpy
                 # backend runs a sorted segmented batch-affine tree) and
                 # return any group-equal Jacobian representative; the
@@ -221,11 +309,12 @@ class GzkpMsm:
                                                  sub[residual])
             with maybe_span(telemetry, "bucket-reduction"), \
                     _maybe_phase(counter, "bucket-reduction"):
-                total = bucket_reduce(self.group, buckets)
+                # Backend contract mirrors accumulate_buckets: any
+                # group-equal representative, ordered-fold op counts.
+                total = backend.bucket_reduce(self.group, buckets)
             return self.group.from_jacobian(total)
         finally:
-            if counter is not None:
-                self.group.counter = None
+            self.group.counter = previous
 
     def compute_literal(self, scalars: Sequence[int],
                         points: Sequence[AffinePoint],
@@ -237,10 +326,12 @@ class GzkpMsm:
         if not scalars:
             return None
         cfg = self.configure(len(scalars))
-        table = self.preprocess(points, cfg)
+        previous = self.group.counter
         if counter is not None:
             self.group.counter = counter
         try:
+            with _maybe_phase(counter, "preprocess"):
+                table = self.preprocess(points, cfg)
             o = self.group.ops
             infinity = (o.one, o.one, o.zero)
             k, m = cfg.window, cfg.interval
@@ -262,8 +353,7 @@ class GzkpMsm:
             total = bucket_reduce(self.group, buckets)
             return self.group.from_jacobian(total)
         finally:
-            if counter is not None:
-                self.group.counter = None
+            self.group.counter = previous
 
     # -- analytic plan --------------------------------------------------------------------------
 

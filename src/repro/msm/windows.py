@@ -38,14 +38,35 @@ def scalar_digits(scalar: int, scalar_bits: int, window: int) -> List[int]:
     ]
 
 
+def _digits(scalars: Sequence[int], scalar_bits: int, window: int,
+            backend):
+    """Digit matrix via the compute backend's vectorized scalar
+    front-end (``backend=None`` resolves ``$REPRO_BACKEND``)."""
+    from repro.backend import get_backend
+
+    return get_backend(backend).digits_matrix(scalars, scalar_bits, window)
+
+
 def bucket_histogram(scalars: Sequence[int], scalar_bits: int,
-                     window: int) -> Dict[int, int]:
+                     window: int, backend=None) -> Dict[int, int]:
     """How many (scalar, window) pairs fall in each non-zero bucket —
     exactly the per-bucket point-merging workload of GZKP's consolidated
-    scheme (Figure 6). Bucket 0 is excluded: it needs no processing."""
+    scheme (Figure 6). Bucket 0 is excluded: it needs no processing.
+
+    Digit extraction runs through the compute backend's
+    ``digits_matrix``; the counts are identical on every backend."""
+    dm = _digits(scalars, scalar_bits, window, backend)
     counts: Dict[int, int] = {}
-    for s in scalars:
-        for d in scalar_digits(s, scalar_bits, window):
+    if hasattr(dm, "nonzero"):  # ndarray fast path: one bincount
+        import numpy as np
+
+        flat = dm[dm != 0]
+        for d, c in enumerate(np.bincount(flat)) if flat.size else ():
+            if c:
+                counts[int(d)] = int(c)
+        return counts
+    for row in dm:
+        for d in row:
             if d:
                 counts[d] = counts.get(d, 0) + 1
     return counts
@@ -66,13 +87,35 @@ class DigitStats:
 
     @classmethod
     def of(cls, scalars: Sequence[int], scalar_bits: int,
-           window: int) -> "DigitStats":
+           window: int, backend=None) -> "DigitStats":
+        """Exact stats of a scalar vector, with digit extraction through
+        the compute backend's ``digits_matrix`` (``backend=None``
+        resolves ``$REPRO_BACKEND``; results are backend-independent)."""
         w = num_windows(scalar_bits, window)
+        dm = _digits(scalars, scalar_bits, window, backend)
+        if hasattr(dm, "nonzero"):  # ndarray fast path: bincounts
+            import numpy as np
+
+            nz = dm != 0
+            total = int(nz.sum())
+            window_loads = [int(x) for x in nz.sum(axis=0)]
+            loads = np.bincount(dm[nz]) if total else np.zeros(1, int)
+            nonempty = int((loads[1:] > 0).sum())
+            max_load = int(loads.max()) if total else 0
+            mean_load = total / nonempty if nonempty else 0.0
+            return cls(
+                n=len(scalars),
+                windows=w,
+                nonzero_digits=total,
+                max_bucket_load=max_load,
+                mean_bucket_load=mean_load,
+                window_loads=tuple(window_loads),
+            )
         window_loads = [0] * w
         bucket: Dict[int, int] = {}
         total = 0
-        for s in scalars:
-            for t, d in enumerate(scalar_digits(s, scalar_bits, window)):
+        for row in dm:
+            for t, d in enumerate(row):
                 if d:
                     total += 1
                     window_loads[t] += 1

@@ -88,8 +88,10 @@ class Groth16Prover:
         self.curve = curve
         # `backend` (a ComputeBackend, name or None = $REPRO_BACKEND)
         # reaches every math stage the prover owns: the default NTT
-        # engine and the POLY stage's pointwise passes. Caller-supplied
-        # engines carry their own backend choice.
+        # engine, the POLY stage's pointwise passes, and the CSR
+        # abc-evaluation front-end (None keeps the scalar loop).
+        # Caller-supplied engines carry their own backend choice.
+        self.backend = backend
         self.poly = PolyStage(
             curve.fr,
             ntt_engine or _BackendNttEngine(curve.fr, backend=backend),
@@ -131,8 +133,12 @@ class Groth16Prover:
     def compute_h(self, assignment: Sequence[int],
                   counter: Optional[OpCounter] = None,
                   telemetry: Optional[Telemetry] = None) -> Sequence[int]:
-        """POLY stage: quotient coefficients from the abc evaluations."""
-        a_vec, b_vec, c_vec = self.r1cs.abc_evaluations(assignment)
+        """POLY stage: quotient coefficients from the abc evaluations
+        (vectorized over the cached CSR matrices when the prover has a
+        compute backend; bit-identical either way)."""
+        a_vec, b_vec, c_vec = self.r1cs.abc_evaluations(
+            assignment, backend=self.backend
+        )
         return self.poly.compute_h(a_vec, b_vec, c_vec, counter=counter,
                                    telemetry=telemetry)
 

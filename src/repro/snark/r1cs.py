@@ -47,6 +47,9 @@ class R1CS:
         if self.n_public < 0:
             raise CircuitError("n_public must be non-negative")
         self.n_variables = max(self.n_variables, 1 + self.n_public)
+        # CSR snapshot of the three sparse matrices, built lazily for the
+        # vectorized abc_evaluations path and invalidated on mutation.
+        self._csr = None
 
     # -- construction --------------------------------------------------------------
 
@@ -69,6 +72,7 @@ class R1CS:
                 c={k: v % p for k, v in c.items() if v % p},
             )
         )
+        self._csr = None
 
     # -- evaluation ------------------------------------------------------------------
 
@@ -105,21 +109,66 @@ class R1CS:
         n = max(len(self.constraints), 1)
         return 1 << (n - 1).bit_length()
 
+    def _abc_csr(self):
+        """CSR form of the A/B/C matrices: per-matrix flat (variable
+        indices, coefficients, row-segment offsets). Built once and
+        reused by every proof over this system — the assignment changes
+        per proof, the matrices never do."""
+        if self._csr is None:
+            csr = []
+            for sel in ("a", "b", "c"):
+                indices: List[int] = []
+                coeffs: List[int] = []
+                row_ptr = [0]
+                for con in self.constraints:
+                    for var, coeff in getattr(con, sel).items():
+                        indices.append(var)
+                        coeffs.append(coeff)
+                    row_ptr.append(len(indices))
+                csr.append((indices, coeffs, row_ptr))
+            self._csr = tuple(csr)
+        return self._csr
+
     def abc_evaluations(
-        self, assignment: Sequence[int]
+        self, assignment: Sequence[int], backend=None
     ) -> Tuple[List[int], List[int], List[int]]:
         """The POLY-stage inputs: per-constraint inner products
-        (A_i . z), (B_i . z), (C_i . z), zero-padded to the domain."""
+        (A_i . z), (B_i . z), (C_i . z), zero-padded to the domain.
+
+        With a compute ``backend`` (name, instance, or ``None`` for the
+        legacy scalar loop) the inner products run over the cached CSR
+        snapshot: one gather of assignment values, one batched ``vmul``
+        per matrix, then exact per-row integer sums mod p. Results are
+        bit-identical to the scalar loop — products are reduced mod p
+        before summing, which only reassociates exact integer
+        arithmetic."""
         self.check_assignment_shape(assignment)
         n = self.domain_size()
-        a_vec = [0] * n
-        b_vec = [0] * n
-        c_vec = [0] * n
-        for i, con in enumerate(self.constraints):
-            a_vec[i] = self.eval_lc(con.a, assignment)
-            b_vec[i] = self.eval_lc(con.b, assignment)
-            c_vec[i] = self.eval_lc(con.c, assignment)
-        return a_vec, b_vec, c_vec
+        if backend is None:
+            a_vec = [0] * n
+            b_vec = [0] * n
+            c_vec = [0] * n
+            for i, con in enumerate(self.constraints):
+                a_vec[i] = self.eval_lc(con.a, assignment)
+                b_vec[i] = self.eval_lc(con.b, assignment)
+                c_vec[i] = self.eval_lc(con.c, assignment)
+            return a_vec, b_vec, c_vec
+        from repro.backend import get_backend
+
+        be = get_backend(backend)
+        p = self.field.modulus
+        rows = len(self.constraints)
+        out = []
+        for indices, coeffs, row_ptr in self._abc_csr():
+            gathered = [assignment[i] % p for i in indices]
+            prods = be.vmul(self.field, coeffs, gathered)
+            vec = [0] * n
+            for i in range(rows):
+                lo, hi = row_ptr[i], row_ptr[i + 1]
+                if hi > lo:
+                    vec[i] = sum(prods[lo:hi]) % p
+            out.append(vec)
+        return tuple(out)
 
     def variable_polynomials_at(self, tau: int) -> Tuple[List[int], List[int], List[int]]:
         """u_j(tau), v_j(tau), w_j(tau) for every variable j, where

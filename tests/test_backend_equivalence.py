@@ -192,3 +192,125 @@ class TestRegistry:
 
             _FACTORIES.pop("custom-test", None)
             _INSTANCES.pop("custom-test", None)
+
+
+class TestDigitsMatrix:
+    """The vectorized scalar front-end must reproduce scalar_digits
+    exactly: same digits, same shape, on every modulus and window."""
+
+    MODULI = [ALT_BN128_R, BLS12_381_R, MNT4753_R]
+
+    def _boundary_scalars(self, field):
+        r = field.modulus
+        return [0, 1, 2, r - 1, r - 2, r >> 1, (1 << 64) - 1, 1 << 200]
+
+    @pytest.mark.parametrize("field", MODULI, ids=lambda f: f.name)
+    @pytest.mark.parametrize("window", [1, 6, 13, 16, 25, 30])
+    def test_matches_scalar_loop(self, field, window):
+        rng = random.Random(field.bits * window)
+        scalars = (self._boundary_scalars(field)
+                   + [rng.randrange(field.modulus) for _ in range(40)])
+        ref = PY.digits_matrix(scalars, field.bits, window)
+        got = NP.digits_matrix(scalars, field.bits, window)
+        assert [list(map(int, row)) for row in got] == ref
+
+    @pytest.mark.parametrize("field", MODULI, ids=lambda f: f.name)
+    def test_sparse_zero_one_vectors(self, field):
+        """The real-world sparse shape (§4.2): mostly 0s and 1s."""
+        rng = random.Random(field.bits)
+        scalars = [rng.choice([0, 0, 0, 1, 1, rng.randrange(field.modulus)])
+                   for _ in range(128)]
+        for window in (6, 16):
+            ref = PY.digits_matrix(scalars, field.bits, window)
+            got = NP.digits_matrix(scalars, field.bits, window)
+            assert [list(map(int, row)) for row in got] == ref
+
+    def test_wide_window_falls_back(self):
+        # window > 30 exceeds the two-word lane extraction; the numpy
+        # backend must still answer correctly via the scalar route.
+        field = ALT_BN128_R
+        scalars = [0, 1, field.modulus - 1]
+        ref = PY.digits_matrix(scalars, field.bits, 40)
+        got = NP.digits_matrix(scalars, field.bits, 40)
+        assert [list(map(int, row)) for row in got] == ref
+
+    def test_empty_vector(self):
+        got = NP.digits_matrix([], 254, 8)
+        assert len(got) == 0
+
+    def test_routes_windows_helpers(self):
+        """bucket_histogram / DigitStats produce identical results
+        through either backend's digit extraction."""
+        from repro.msm import DigitStats, bucket_histogram
+
+        rng = random.Random(77)
+        scalars = [rng.randrange(ALT_BN128_R.modulus) for _ in range(60)]
+        scalars[:6] = [0, 0, 1, 1, 1, 0]
+        h_py = bucket_histogram(scalars, 254, 7, backend="python")
+        h_np = bucket_histogram(scalars, 254, 7, backend="numpy")
+        assert h_py == h_np
+        s_py = DigitStats.of(scalars, 254, 7, backend="python")
+        s_np = DigitStats.of(scalars, 254, 7, backend="numpy")
+        assert s_py == s_np
+
+
+class TestBucketReduce:
+    """The batched log-depth suffix scan must be group-equal to the
+    ordered running-suffix fold and emit the identical padd total —
+    including the data-dependent skips for empty buckets."""
+
+    def _buckets(self, n, infinity_at, seed=3):
+        rng = random.Random(seed)
+        o = bn128_g1.ops
+        inf = (o.one, o.one, o.zero)
+        buckets = []
+        for j in range(n):
+            if j in infinity_at:
+                buckets.append(inf)
+            else:
+                buckets.append(
+                    bn128_g1.to_jacobian(bn128_g1.random_point(rng)))
+        return buckets
+
+    @pytest.mark.parametrize("infinity_at", [
+        set(), {0, 1, 2}, {30, 31}, {7, 8, 9, 20}, set(range(0, 32, 2)),
+    ], ids=["dense", "leading-inf", "trailing-inf", "mid-runs", "alternating"])
+    def test_matches_ordered_fold(self, infinity_at):
+        n = 32
+        buckets = self._buckets(n, infinity_at)
+        ref_counter, np_counter = OpCounter(), OpCounter()
+        bn128_g1.counter = ref_counter
+        try:
+            ref = PY.bucket_reduce(bn128_g1, list(buckets))
+        finally:
+            bn128_g1.counter = None
+        bn128_g1.counter = np_counter
+        try:
+            got = NP.bucket_reduce(bn128_g1, list(buckets))
+        finally:
+            bn128_g1.counter = None
+        assert bn128_g1.from_jacobian(got) == bn128_g1.from_jacobian(ref)
+        assert np_counter.totals() == ref_counter.totals()
+
+    def test_all_infinity(self):
+        buckets = self._buckets(32, set(range(32)))
+        got = NP.bucket_reduce(bn128_g1, buckets)
+        assert bn128_g1.from_jacobian(got) is None or \
+            bn128_g1.jis_infinity(got)
+
+    def test_small_input_uses_scalar_path(self):
+        # below the vector-lane threshold the numpy backend delegates
+        # to the exact ordered fold
+        buckets = self._buckets(5, {1})
+        ref = PY.bucket_reduce(bn128_g1, list(buckets))
+        got = NP.bucket_reduce(bn128_g1, list(buckets))
+        assert bn128_g1.from_jacobian(got) == bn128_g1.from_jacobian(ref)
+
+    def test_counter_not_installed_stays_uncounted(self):
+        """bucket_reduce must not clobber a counter another caller
+        installs on the group mid-flight: with no counter installed it
+        leaves group.counter alone."""
+        buckets = self._buckets(32, set())
+        assert bn128_g1.counter is None
+        NP.bucket_reduce(bn128_g1, buckets)
+        assert bn128_g1.counter is None
