@@ -1,0 +1,62 @@
+"""CLI for the kernel-safety analysis: ``python -m repro.analysis``.
+
+Runs the repo lint rules over the given paths (default:
+``src tests benchmarks``, skipping ones that don't exist) and the
+limb-bound certifier over every registered modulus; exits non-zero if
+any rule fires or any certificate has a violated bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.bounds import certify_all
+from repro.analysis.lint import run_lint
+from repro.analysis.report import AnalysisReport
+
+_DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="limb-bound certifier + repo lint rules",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src tests benchmarks)")
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write the full report as JSON (use '-' for stdout)")
+    parser.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the AST lint rules (certifier only)")
+    parser.add_argument(
+        "--no-bounds", action="store_true",
+        help="skip the limb-bound certifier (lint only)")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show every bound check, not just violations")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [p for p in _DEFAULT_PATHS if Path(p).exists()]
+
+    report = AnalysisReport(meta={"paths": list(paths)})
+    if not args.no_lint:
+        report.findings = run_lint(paths)
+    if not args.no_bounds:
+        report.certificates = certify_all()
+
+    if args.json == "-":
+        print(report.to_json())
+    else:
+        print(report.render(verbose=args.verbose))
+        if args.json:
+            Path(args.json).write_text(report.to_json() + "\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

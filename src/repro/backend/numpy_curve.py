@@ -249,7 +249,7 @@ def batch_jdouble(group, points: Sequence) -> List:
     consts = group.formula_constants()
     results: List = [None] * len(points)
     act: List[int] = []
-    for i, (x, y, z) in enumerate(points):
+    for i, (_x, y, z) in enumerate(points):
         if z == 0 or y == 0:
             results[i] = (1, 1, 0)  # scalar early return: no counts
         else:

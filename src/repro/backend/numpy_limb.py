@@ -92,6 +92,21 @@ class _Geometry:
         # Accumulator lanes grow by ~lg * 2^44 per pass between cleans;
         # renormalize the whole buffer before nearing the 2^53 mantissa.
         self.clean_every = max(2, (1 << 53) // (self.lg << (2 * LIMB_BITS)))
+        # One source of truth for "how lazy may the clean cadence be":
+        # the certifier's worst-case sweep simulation, not this formula.
+        # Lazy import: repro.analysis must stay importable before the
+        # backend package finishes initialising.
+        from repro.analysis.bounds import certified_safe_clean_every
+
+        safe = certified_safe_clean_every(LIMB_BITS, self.lg)
+        if self.clean_every > safe:
+            from repro.errors import FieldError
+
+            raise FieldError(
+                f"clean_every={self.clean_every} for a {bits}-bit modulus "
+                f"(lg={self.lg}) exceeds the certified safe cadence "
+                f"{safe}: accumulator lanes could lose float53 exactness"
+            )
 
 
 _GEOMS: Dict[int, _Geometry] = {}

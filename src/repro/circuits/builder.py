@@ -43,14 +43,14 @@ class CircuitBuilder:
         if self._public_cursor > self.r1cs.n_public:
             raise CircuitError("all public-input slots already bound")
         idx = self._public_cursor
-        self._values[idx] = value % self.field.modulus
+        self._values[idx] = self.field.reduce(value)
         self._public_cursor += 1
         return idx
 
     def witness(self, value: int) -> int:
         """Allocate a private witness variable holding ``value``."""
         idx = self.r1cs.new_variable()
-        self._values.append(value % self.field.modulus)
+        self._values.append(self.field.reduce(value))
         return idx
 
     def value(self, var: int) -> int:

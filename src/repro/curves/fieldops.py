@@ -51,7 +51,7 @@ class IntFieldOps:
         return self.field.inv(a)
 
     def mul_small(self, a, k: int):
-        return self.field.mul(a, k % self.field.modulus)
+        return self.field.mul(a, self.field.reduce(k))
 
     def eq(self, a, b) -> bool:
         return a == b
@@ -61,7 +61,7 @@ class IntFieldOps:
 
     def coerce(self, value) -> Any:
         if isinstance(value, int):
-            return value % self.field.modulus
+            return self.field.reduce(value)
         raise TypeError(f"cannot coerce {type(value)!r} into {self.field.name}")
 
     # Struct-of-arrays adapters: vectorized backends store coordinates

@@ -41,7 +41,7 @@ def run_batched_ntt(field: PrimeField, values: Sequence[int], plan: BatchPlan,
     from repro.backend import get_backend
 
     be = get_backend(backend)
-    a = [v % field.modulus for v in values]
+    a = [field.reduce(v) for v in values]
     n = len(a)
     if n != plan.n:
         raise NttError(f"plan is for N={plan.n}, vector has {n}")

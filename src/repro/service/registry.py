@@ -116,7 +116,7 @@ def _assign_cubic(field: PrimeField, witness: Sequence[int]) -> List[int]:
     (x,) = witness
     x2 = field.mul(x, x)
     x3 = field.mul(x2, x)
-    out = field.add(field.add(x3, x), 5 % field.modulus)
+    out = field.add(field.add(x3, x), field.reduce(5))
     return [1, out, x, x2, x3]
 
 
@@ -135,7 +135,7 @@ def _build_range4(field: PrimeField) -> R1CS:
 def _assign_range4(field: PrimeField, witness: Sequence[int]) -> List[int]:
     (x,) = witness
     bits = [(x >> i) & 1 for i in range(4)]
-    return [1, x % field.modulus, *bits]
+    return [1, field.reduce(x), *bits]
 
 
 register_circuit(CircuitSpec(

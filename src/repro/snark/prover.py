@@ -97,35 +97,45 @@ class Groth16Prover:
             ntt_engine or _BackendNttEngine(curve.fr, backend=backend),
             backend=backend,
         )
+        # Op counting flows through CurveGroup.counter, which is shared
+        # per group; when MSMs on one group run concurrently *with
+        # counting active*, serialise them so the per-MSM attribution
+        # stays meaningful. RLock: the dispatch path and the naive MSM
+        # fallback both guard the counter swap, possibly nested.
+        self._group_locks = {id(curve.g1): threading.RLock(),
+                             id(curve.g2): threading.RLock()}
         # MSM callables: (scalars, points[, counter, telemetry]) -> point.
         # Default: direct sums. Legacy two-argument callables still work.
-        self._msm_g1 = msm_g1 or self._naive_msm_factory(curve.g1)
-        self._msm_g2 = msm_g2 or self._naive_msm_factory(curve.g2)
+        self._msm_g1 = msm_g1 or self._naive_msm_factory(
+            curve.g1, self._group_locks[id(curve.g1)])
+        self._msm_g2 = msm_g2 or self._naive_msm_factory(
+            curve.g2, self._group_locks[id(curve.g2)])
         #: optional concurrent.futures.Executor: the five MSMs of §5.2
         #: share no state and are dispatched to it as parallel tasks
         #: (the service sets this; None = sequential)
         self.msm_executor = msm_executor
-        # Op counting flows through CurveGroup.counter, which is shared
-        # per group; when MSMs on one group run concurrently *with
-        # counting active*, serialise them so the per-MSM attribution
-        # stays meaningful.
-        self._group_locks = {id(curve.g1): threading.Lock(),
-                             id(curve.g2): threading.Lock()}
 
     @staticmethod
-    def _naive_msm_factory(group):
+    def _naive_msm_factory(group, group_lock):
+        def msm_sum(scalars, points):
+            acc = None
+            for s, p in zip(scalars, points):
+                if s:
+                    acc = group.add(acc, group.scalar_mul(s, p))
+            return acc
+
         def run(scalars, points, counter: Optional[OpCounter] = None):
-            previous = group.counter
-            if counter is not None:
+            if counter is None:
+                # No swap: leave whatever counter the group carries so a
+                # concurrent counted MSM's installation is never clobbered.
+                return msm_sum(scalars, points)
+            with group_lock:
+                previous = group.counter
                 group.counter = counter
-            try:
-                acc = None
-                for s, p in zip(scalars, points):
-                    if s:
-                        acc = group.add(acc, group.scalar_mul(s, p))
-                return acc
-            finally:
-                group.counter = previous
+                try:
+                    return msm_sum(scalars, points)
+                finally:
+                    group.counter = previous
         return run
 
     # -- stages ---------------------------------------------------------------------
@@ -187,12 +197,15 @@ class Groth16Prover:
         def run(name, fn, group, scalars, points):
             with maybe_span(telemetry, name, parent=parent) as sp:
                 lock = self._group_locks.get(id(group))
-                if sp.counter is not None and lock is not None:
+                # Lock whenever any counter is live on this group: the
+                # span's own, or one pre-installed on the group by the
+                # caller (which a concurrent sibling must not clobber).
+                if lock is not None and (sp.counter is not None
+                                         or group.counter is not None):
                     with lock:
                         return self._call_msm(fn, scalars, points,
                                               sp.counter, telemetry)
-                return self._call_msm(fn, scalars, points, sp.counter,
-                                      telemetry)
+                return self._call_msm(fn, scalars, points, None, telemetry)
 
         if self.msm_executor is not None:
             futures = [self.msm_executor.submit(run, *task)

@@ -209,7 +209,7 @@ class R1CS:
             return out
         denominators = []
         w = 1
-        for i in range(n):
+        for _ in range(n):
             denominators.append((tau - w) % p)
             w = w * omega % p
         inv_dens = f.batch_inv(denominators)
