@@ -37,6 +37,24 @@ class ValidationError(ServiceError):
     """A proof request was rejected before any proving work started."""
 
 
+class ServiceOverloadedError(ServiceError):
+    """A shard's ingest queue is full: the job was rejected with a
+    retry hint instead of being buffered without bound.
+
+    ``retry_after`` is the service's estimate (seconds) of when the
+    shard will have drained enough to accept the job — queue depth
+    times the shard's smoothed per-job service time."""
+
+    def __init__(self, shard: int, depth: int, retry_after: float):
+        self.shard = shard
+        self.depth = depth
+        self.retry_after = retry_after
+        super().__init__(
+            f"shard {shard} queue full ({depth} jobs queued); "
+            f"retry after ~{retry_after:.2f}s"
+        )
+
+
 class SimulationError(ReproError):
     """GPU simulation errors, including modeled out-of-memory conditions."""
 

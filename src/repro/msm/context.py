@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import MsmError
 
-__all__ = ["MsmContext", "MsmContextCache", "check_table"]
+__all__ = ["MsmContext", "MsmContextCache", "ScopedContextCache",
+           "check_table"]
 
 
 def expected_table_rows(cfg) -> int:
@@ -172,3 +173,55 @@ class MsmContextCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def scoped(self, scope: str) -> "ScopedContextCache":
+        """A shard-scoped handle over this cache (see
+        :class:`ScopedContextCache`)."""
+        return ScopedContextCache(self, scope)
+
+
+class ScopedContextCache:
+    """A shard's view of a shared context cache.
+
+    The sharded proving service partitions warm state by
+    (curve, circuit) key: every shard's workers serve a disjoint key
+    population, but the residency *budget* (the paper's Figure 9
+    preprocessing-memory cap) is a property of the device a worker
+    models, not of any one key.  A scoped handle gives each shard its
+    own namespace (keys are prefixed with the scope label, so two
+    shards can never collide or evict through each other's handle
+    accounting) and its own hit/miss statistics, while the underlying
+    LRU and its entry/byte bounds stay shared.
+
+    Entries are whatever the owner caches — :class:`MsmContext` rows or
+    whole prover bundles — as long as they expose ``preprocess_bytes``
+    when the underlying cache is byte-bounded.
+    """
+
+    def __init__(self, cache: MsmContextCache, scope: str):
+        self.cache = cache
+        self.scope = scope
+        self.stats = _CacheStats()
+
+    def _key(self, key) -> tuple:
+        return (self.scope, key)
+
+    def get(self, key) -> Optional[MsmContext]:
+        ctx = self.cache.get(self._key(key))
+        if ctx is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return ctx
+
+    def put(self, key, ctx) -> bool:
+        cached = self.cache.put(self._key(key), ctx)
+        if not cached:
+            self.stats.rejected += 1
+        return cached
+
+    def __contains__(self, key) -> bool:
+        return self._key(key) in self.cache
+
+    def stats_dict(self) -> Dict[str, int]:
+        return self.stats.to_dict()

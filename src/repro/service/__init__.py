@@ -11,12 +11,16 @@ lazily through module ``__getattr__``.
 from __future__ import annotations
 
 from repro.service.telemetry import (NULL_SPAN, Span, Telemetry, maybe_span,
-                                     phase_breakdown)
+                                     phase_breakdown, splice_phase)
 
 __all__ = [
-    "Span", "Telemetry", "maybe_span", "phase_breakdown", "NULL_SPAN",
+    "Span", "Telemetry", "maybe_span", "phase_breakdown", "splice_phase",
+    "NULL_SPAN",
     "ProvingService", "ProofJob", "JobResult", "encode_request",
     "decode_request",
+    "LoadGenerator", "LoadReport", "poisson_arrivals", "burst_arrivals",
+    "synthesize_jobs",
+    "ShardMap", "ShardStats",
 ]
 
 _LAZY = {
@@ -25,6 +29,13 @@ _LAZY = {
     "JobResult": "repro.service.service",
     "encode_request": "repro.service.wire",
     "decode_request": "repro.service.wire",
+    "LoadGenerator": "repro.service.loadgen",
+    "LoadReport": "repro.service.loadgen",
+    "poisson_arrivals": "repro.service.loadgen",
+    "burst_arrivals": "repro.service.loadgen",
+    "synthesize_jobs": "repro.service.loadgen",
+    "ShardMap": "repro.service.shard",
+    "ShardStats": "repro.service.shard",
 }
 
 

@@ -27,7 +27,7 @@ from repro.ff.primefield import PrimeField
 from repro.snark.r1cs import R1CS
 
 __all__ = ["CircuitSpec", "CIRCUIT_REGISTRY", "get_circuit",
-           "register_circuit", "build_instance"]
+           "register_circuit", "build_instance", "MULCHAIN_SIZES"]
 
 
 @dataclass(frozen=True)
@@ -136,6 +136,44 @@ def _assign_range4(field: PrimeField, witness: Sequence[int]) -> List[int]:
     (x,) = witness
     bits = [(x >> i) & 1 for i in range(4)]
     return [1, field.reduce(x), *bits]
+
+
+def _build_mulchain(k: int) -> Callable[[PrimeField], R1CS]:
+    def build(field: PrimeField) -> R1CS:
+        # vars: 0 = 1, 1 = out (public), 2 = x, 3..k+1 = x^(2^i)
+        # out = x^(2^k) by repeated squaring: k constraints, k+2 vars.
+        r1cs = R1CS(field, n_public=1, n_variables=k + 2)
+        prev = 2
+        for i in range(k - 1):
+            r1cs.add_constraint({prev: 1}, {prev: 1}, {3 + i: 1})
+            prev = 3 + i
+        r1cs.add_constraint({prev: 1}, {prev: 1}, {1: 1})
+        return r1cs
+
+    return build
+
+
+def _assign_mulchain(k: int):
+    def assign(field: PrimeField, witness: Sequence[int]) -> List[int]:
+        (x,) = witness
+        powers = [field.reduce(x)]
+        for _ in range(k):
+            powers.append(field.mul(powers[-1], powers[-1]))
+        return [1, powers[k], powers[0], *powers[1:k]]
+
+    return assign
+
+
+#: The squaring-chain family backing the service-scale load generator:
+#: one key per size, so a population of distinct (curve, circuit) keys
+#: with non-trivial per-key preprocessing cost is available without
+#: inventing bespoke circuits per experiment.
+MULCHAIN_SIZES = (8, 12, 16, 20, 24, 28, 32, 40, 48, 64)
+
+for _k in MULCHAIN_SIZES:
+    register_circuit(CircuitSpec(
+        f"mulchain{_k}", 1, _build_mulchain(_k), _assign_mulchain(_k),
+        f"out = x^(2^{_k}) by repeated squaring ({_k} constraints)"))
 
 
 register_circuit(CircuitSpec(

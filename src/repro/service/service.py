@@ -2,17 +2,29 @@
 
 GZKP's evaluation (§6) runs *batches* of proofs — Table 4's workloads
 are thousands of Zcash transactions, each one proof. This module is the
-serving layer for that shape of work: a pool of worker processes, each
-owning its own prover contexts, consuming proof jobs and returning
-serialized, *verified* proofs with a per-phase telemetry breakdown.
+serving layer for that shape of work, now an async sharded pipeline
+(:mod:`repro.service.pipeline`):
 
-Two levels of parallelism mirror the paper's execution model:
+* **ingest** — thread-safe submission into bounded per-shard queues;
+  a full queue either blocks the submitter (``wait=True``) or rejects
+  with :class:`~repro.errors.ServiceOverloadedError` carrying a
+  ``retry_after`` hint (``wait=False``);
+* **shard dispatch** — jobs route by (curve, circuit) key through a
+  sticky :class:`~repro.service.shard.ShardMap`, so each shard's
+  workers keep their prover-context caches hot for their own key
+  population (GZKP §4.1: preprocessing amortizes only if the
+  table-owning worker sees the next proof for its circuit);
+* **workers** — forked processes fed strict binary frames over pipes
+  (:mod:`repro.service.wire`); witness bytes cross the boundary in the
+  request's wire form, never as a pickle;
+* **verify** — by default a bounded parent-side thread pool re-verifies
+  finished proofs while the workers move on to the next job
+  (``verify="pool"``); ``"inline"`` restores in-worker verification
+  and ``"off"`` skips it (for capacity benchmarks).
 
-* **across jobs** — ``workers`` processes each prove independent jobs
-  (the paper's multi-GPU batch mode assigns whole proofs to cards);
-* **within a job** — the five Groth16 MSMs share no state and are
-  dispatched to a thread pool (§5.2's observation that MSM-A/B/C/H are
-  independent kernels), when ``parallel_msm`` is on.
+Two levels of parallelism mirror the paper's execution model: across
+jobs (``workers`` processes, the multi-GPU batch mode) and within a job
+(the five independent Groth16 MSMs on a thread pool, ``parallel_msm``).
 
 Reliability model:
 
@@ -30,36 +42,31 @@ Reliability model:
 Setups are deterministic per (curve, circuit): both the parent and any
 external verifier can re-derive the verifying key from the public seed
 (:func:`setup_for`), so returned proof bytes are independently
-checkable.
+checkable.  The parent builds each warm key's setup once before
+forking; shard workers inherit it copy-on-write instead of re-deriving
+it per process.
 """
 
 from __future__ import annotations
 
-import os
 import random
-import time
-from collections import deque
+import threading
 from dataclasses import dataclass, field
-from queue import Empty
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import multiprocessing as mp
-
-from repro.backend import available_backends
-from repro.backend.native import native_available
 from repro.curves.params import CURVES
-from repro.errors import ReproError, ServiceError, ValidationError
+from repro.errors import ServiceError, ValidationError
 from repro.service import wire
+from repro.service.shard import ShardMap, ShardStats
 from repro.service.telemetry import Telemetry, phase_breakdown
 from repro.service.validation import validate_job_inputs
+from repro.service.worker import (SETUP_SEED_FMT, ProverHandle, SetupBundle,
+                                  WorkerState, execute_job, resolve_backend)
 
 __all__ = ["ProofJob", "JobResult", "ProvingService", "setup_for",
            "SETUP_SEED_FMT"]
 
-#: Seed format for the deterministic per-(curve, circuit) trusted setup.
-#: Anyone holding the job's curve and circuit names can re-derive the
-#: verifying key and check the returned proof bytes.
-SETUP_SEED_FMT = "gzkp-service-setup:{curve}:{circuit}"
+VERIFY_MODES = ("pool", "inline", "off")
 
 
 def setup_for(curve_name: str, circuit_name: str):
@@ -97,6 +104,11 @@ class ProofJob:
                    witness=tuple(req.witness), backend=req.backend,
                    job_id=job_id)
 
+    def request_bytes(self) -> bytes:
+        """This job in its wire form — what crosses the worker pipe."""
+        return wire.encode_request(self.curve, self.circuit,
+                                   self.witness, self.backend)
+
 
 @dataclass
 class JobResult:
@@ -113,7 +125,7 @@ class JobResult:
     backend: Optional[str] = None
     error: Optional[str] = None
     error_kind: Optional[str] = None     # validation | proof | verify |
-    #                                      timeout | internal
+    #                                      timeout | internal | wire
     attempts: int = 0
     worker: Optional[int] = None
     telemetry: dict = field(default_factory=dict)
@@ -122,6 +134,11 @@ class JobResult:
     def job_span(self) -> Optional[dict]:
         spans = self.telemetry.get("spans") or []
         return spans[0] if spans else None
+
+    @property
+    def shard(self) -> Optional[int]:
+        span = self.job_span
+        return span["meta"].get("shard") if span else None
 
     def phase_seconds(self) -> Dict[str, float]:
         """Top-level per-phase wall-clock breakdown (setup / POLY / MSM
@@ -139,263 +156,69 @@ class JobResult:
                 or "fallback" in e.get("kind", "")]
 
 
-# -- worker side -------------------------------------------------------------------
-
-
-def _reset_backend_state() -> None:
-    """Forked workers inherit the parent's backend singletons and the
-    native-kernel load state; drop both so the worker's environment
-    (e.g. a ``REPRO_NATIVE=0`` override) is honoured from scratch."""
-    import repro.backend as backend_mod
-    import repro.backend.native as native_mod
-
-    backend_mod._INSTANCES.clear()
-    native_mod._LIB = None
-    native_mod._LOAD_ATTEMPTED = False
-    native_mod._FIELDS.clear()
-
-
-def _resolve_backend(requested: Optional[str],
-                     telemetry: Telemetry) -> str:
-    """Pick the compute backend for a job, degrading gracefully: an
-    unavailable backend falls back to the scalar python path, missing
-    native kernels under numpy are noted — both as telemetry events."""
-    name = (requested
-            or os.environ.get("REPRO_BACKEND", "python").strip()
-            or "python")
-    if name not in available_backends():
-        telemetry.record_event(
-            "backend-downgrade",
-            f"{name} -> python (backend unavailable)",
-            requested=name, used="python",
-        )
-        name = "python"
-    if name == "numpy" and not native_available():
-        telemetry.record_event(
-            "native-kernel-fallback",
-            "native C kernels unavailable: numpy scalar bucket fold",
-            backend=name,
-        )
-    elif name == "python" and not native_available():
-        telemetry.record_event(
-            "native-kernel-fallback",
-            "native C kernels unavailable: pure-python field arithmetic",
-            backend=name,
-        )
-    return name
-
-
-class _ProverContext:
-    """Per-worker cached (r1cs, keys, prover, verifier) for one
-    (curve, circuit, backend) combination. Construction is the
-    amortized cost a warm worker never pays again: setup derivation
-    plus the prover's MSM checkpoint preprocessing (reported as
-    ``preprocess`` spans on ``telemetry`` when attached)."""
-
-    def __init__(self, curve_name: str, circuit_name: str, backend: str,
-                 parallel_msm: bool, msm_window: int, msm_interval: int,
-                 executor, telemetry: Optional[Telemetry] = None):
-        from repro.snark.gzkp_prover import make_gzkp_prover
-        from repro.snark.keys import setup
-        from repro.snark.verifier import Groth16Verifier
-
-        self.curve = CURVES[curve_name]
-        from repro.service.registry import get_circuit
-
-        self.spec = get_circuit(circuit_name)
-        self.r1cs = self.spec.build(self.curve.fr)
-        rng = random.Random(SETUP_SEED_FMT.format(curve=curve_name,
-                                                  circuit=circuit_name))
-        self.keys = setup(self.r1cs, self.curve, rng=rng)
-        self.prover = make_gzkp_prover(
-            self.r1cs, self.keys.proving_key, self.curve,
-            msm_window=msm_window, msm_interval=msm_interval,
-            backend=backend,
-            msm_executor=executor if parallel_msm else None,
-            telemetry=telemetry,
-        )
-        self.verifier = Groth16Verifier(self.keys.verifying_key, self.curve)
-
-
-def _warm_contexts(warm, contexts: dict, parallel_msm: bool,
-                   msm_window: int, msm_interval: int, executor) -> None:
-    """Pre-build prover contexts for the given (curve, circuit[,
-    backend]) combinations so the first job of each finds a warm
-    cache — the service-level form of the paper's setup-time
-    preprocessing."""
-    for entry in warm:
-        requested = entry[2] if len(entry) > 2 else None
-        scratch = Telemetry()
-        backend = _resolve_backend(requested, scratch)
-        key = (entry[0], entry[1], backend)
-        if key not in contexts:
-            contexts[key] = _ProverContext(
-                entry[0], entry[1], backend, parallel_msm,
-                msm_window, msm_interval, executor,
-            )
-
-
-def _execute_job(task: dict, contexts: dict, parallel_msm: bool,
-                 msm_window: int, msm_interval: int, executor) -> dict:
-    """Run one job end to end: context setup, prove (POLY + MSMs),
-    verify, serialize — all under one telemetry span tree."""
-    from repro.snark.serialize import serialize_proof
-
-    telemetry = Telemetry()
-    result = {
-        "pos": task["pos"], "ticket": task["ticket"],
-        "job_id": task["job_id"], "ok": False,
-        "curve": task["curve"], "circuit": task["circuit"],
-    }
-    with telemetry.span("job", job_id=task["job_id"]):
-        backend = _resolve_backend(task.get("backend"), telemetry)
-        result["backend"] = backend
-        try:
-            with telemetry.span("context"):
-                key = (task["curve"], task["circuit"], backend)
-                ctx = contexts.get(key)
-                telemetry.record_event(
-                    "prover-context-cache",
-                    "hit" if ctx is not None else "miss",
-                    curve=task["curve"], circuit=task["circuit"],
-                    backend=backend,
-                )
-                if ctx is None:
-                    ctx = contexts[key] = _ProverContext(
-                        task["curve"], task["circuit"], backend,
-                        parallel_msm, msm_window, msm_interval, executor,
-                        telemetry=telemetry,
-                    )
-                assignment = ctx.spec.assign(ctx.curve.fr, task["witness"])
-            proof = ctx.prover.prove(assignment, telemetry=telemetry)
-            public_inputs = tuple(
-                assignment[1:1 + ctx.r1cs.n_public]
-            )
-            with telemetry.span("verify"):
-                verified = ctx.verifier.verify(proof, public_inputs)
-            if not verified:
-                result.update(error="proof failed verification",
-                              error_kind="verify")
-            else:
-                with telemetry.span("serialize"):
-                    blob = serialize_proof(proof, ctx.curve)
-                result.update(ok=True, proof=blob, verified=True,
-                              public_inputs=public_inputs)
-        except ReproError as exc:
-            result.update(error=f"{type(exc).__name__}: {exc}",
-                          error_kind="proof")
-    result["telemetry"] = telemetry.to_dict()
-    return result
-
-
-def _worker_main(index: int, tasks, results, env: Optional[dict],
-                 parallel_msm: bool, msm_window: int,
-                 msm_interval: int, warm: tuple = ()) -> None:
-    """Worker process entry point: loop over tasks until the ``None``
-    sentinel. A job can fail; the worker must not."""
-    if env:
-        os.environ.update(env)
-    _reset_backend_state()
-    executor = None
-    if parallel_msm:
-        from concurrent.futures import ThreadPoolExecutor
-
-        executor = ThreadPoolExecutor(max_workers=5,
-                                      thread_name_prefix=f"msm-w{index}")
-    contexts: dict = {}
-    if warm:
-        _warm_contexts(warm, contexts, parallel_msm, msm_window,
-                       msm_interval, executor)
-    while True:
-        task = tasks.get()
-        if task is None:
-            break
-        try:
-            result = _execute_job(task, contexts, parallel_msm,
-                                  msm_window, msm_interval, executor)
-        except BaseException as exc:  # noqa: BLE001 — worker stays alive
-            result = {
-                "pos": task["pos"], "ticket": task["ticket"],
-                "job_id": task["job_id"], "ok": False,
-                "curve": task["curve"], "circuit": task["circuit"],
-                "error": f"{type(exc).__name__}: {exc}",
-                "error_kind": "internal", "telemetry": {},
-            }
-        result["worker"] = index
-        results.put(result)
-    if executor is not None:
-        executor.shutdown(wait=False)
-
-
-# -- parent side -------------------------------------------------------------------
-
-
-class _WorkerHandle:
-    """Parent-side bookkeeping for one worker process."""
-
-    def __init__(self, ctx, index: int, results, env, parallel_msm,
-                 msm_window, msm_interval, warm=()):
-        self.index = index
-        self.tasks = ctx.Queue()
-        self.process = ctx.Process(
-            target=_worker_main,
-            args=(index, self.tasks, results, env, parallel_msm,
-                  msm_window, msm_interval, warm),
-            daemon=True,
-        )
-        self.process.start()
-        self.assignment: Optional[tuple] = None   # (pos, task, attempts)
-        self.deadline: Optional[float] = None
-
-    @property
-    def idle(self) -> bool:
-        return self.assignment is None
-
-    def assign(self, pos: int, task: dict, attempts: int,
-               timeout: Optional[float]) -> None:
-        self.assignment = (pos, task, attempts)
-        self.deadline = (time.monotonic() + timeout
-                         if timeout is not None else None)
-        self.tasks.put(task)
-
-    def finish(self) -> None:
-        self.assignment = None
-        self.deadline = None
-
-    def kill(self) -> None:
-        if self.process.is_alive():
-            self.process.terminate()
-        self.process.join(timeout=5)
-
-
 class ProvingService:
-    """A pool of proving workers consuming batches of proof jobs.
+    """A sharded pool of proving workers consuming proof jobs.
 
     ``workers=0`` runs jobs inline in the calling process (no pool, no
-    timeouts) — the mode benchmarks use for a clean single-process
-    baseline; its prover contexts persist across batches, so
-    amortization behaves like a long-lived worker. ``env`` is applied
-    in each worker before any proving (e.g. ``{"REPRO_NATIVE": "0"}``
-    to exercise the scalar fallback).
+    queues, no timeouts) — the mode benchmarks use for a clean
+    single-process baseline; its prover contexts persist across
+    batches, so amortization behaves like a long-lived worker. ``env``
+    is applied in each worker before any proving (e.g.
+    ``{"REPRO_NATIVE": "0"}`` to exercise the scalar fallback).
+
+    Pipeline knobs (pooled mode):
+
+    * ``shards`` — shard count for (curve, circuit) affinity routing;
+      defaults to ``workers``; must be in [1, workers].  Worker ``i``
+      serves shard ``i % shards``.
+    * ``queue_depth`` — per-shard ingest queue bound.  ``submit(...,
+      wait=False)`` raises :class:`ServiceOverloadedError` (with a
+      ``retry_after`` priced from the shard's smoothed job time) once
+      the shard queue is full; ``wait=True`` blocks instead.
+    * ``verify`` — ``"pool"`` (default) re-verifies proofs on a
+      parent-side thread pool of ``verify_workers`` threads, off the
+      workers' critical path; ``"inline"`` verifies inside the worker;
+      ``"off"`` skips verification (results have ``verified=False``).
+    * ``worker_cache`` — bound on each worker's resident prover
+      handles (the MSM checkpoint tables; GZKP Figure 9's
+      preprocessing-memory budget).  ``None`` means unbounded.
 
     ``warm`` is an iterable of (curve, circuit) or (curve, circuit,
-    backend) combinations to pre-build at worker spawn (or at
-    construction in inline mode): setup derivation and MSM checkpoint
-    preprocessing happen before the first job arrives, so even job 1
-    runs the amortized hot path. Entries are validated here — an
-    unknown curve or circuit raises :class:`ServiceError` immediately
-    rather than failing inside every worker.
+    backend) combinations to pre-build **in the parent, before
+    forking**: setup derivation and MSM checkpoint preprocessing happen
+    once and every shard worker inherits the result copy-on-write, so
+    even job 1 runs the amortized hot path. Entries are validated
+    here — an unknown curve or circuit raises :class:`ServiceError`
+    immediately rather than failing inside every worker.
     """
 
     def __init__(self, workers: int = 2, parallel_msm: bool = True,
                  timeout: Optional[float] = None, retries: int = 1,
                  msm_window: int = 6, msm_interval: int = 2,
                  env: Optional[dict] = None,
-                 warm: Optional[Sequence] = None):
+                 warm: Optional[Sequence] = None,
+                 shards: Optional[int] = None,
+                 queue_depth: int = 16,
+                 verify: str = "pool",
+                 verify_workers: int = 2,
+                 worker_cache: Optional[int] = None):
         if workers < 0:
             raise ServiceError("workers must be >= 0")
         if retries < 0:
             raise ServiceError("retries must be >= 0")
+        if verify not in VERIFY_MODES:
+            raise ServiceError(
+                f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+        if queue_depth < 1:
+            raise ServiceError("queue_depth must be >= 1")
+        if shards is None:
+            shards = workers or 1
+        if workers and not (1 <= shards <= workers):
+            raise ServiceError(
+                f"shards must be in [1, workers]; got shards={shards} "
+                f"workers={workers}")
+        if worker_cache is not None and worker_cache < 1:
+            raise ServiceError("worker_cache must be >= 1 (or None)")
         self.workers = workers
         self.parallel_msm = parallel_msm
         self.timeout = timeout
@@ -404,26 +227,34 @@ class ProvingService:
         self.msm_interval = msm_interval
         self.env = dict(env) if env else None
         self.warm = self._validate_warm(warm)
-        self._ticket = 0
+        self.shards = shards
+        self.queue_depth = queue_depth
+        self.verify = verify
+        self.verify_workers = verify_workers
+        self.worker_cache = worker_cache
+
         self._job_seq = 0
-        self._pool: List[_WorkerHandle] = []
-        self._results = None
-        self._ctx = None
-        self._inline_contexts: dict = {}
-        self._inline_executor = None
+        self._seq_lock = threading.Lock()
+        self._setups: Dict[Tuple[str, str], SetupBundle] = {}
+        self._setup_lock = threading.Lock()
+        self._pipeline = None
+        self._inline_state: Optional[WorkerState] = None
+        self._inline_stats = ShardStats(0)
+
         if workers:
-            # fork keeps worker startup cheap and inherits any circuits
-            # the caller registered after import; linux-only repo.
-            self._ctx = (mp.get_context("fork")
-                         if "fork" in mp.get_all_start_methods()
-                         else mp.get_context())
-            self._results = self._ctx.Queue()
-            for i in range(workers):
-                self._pool.append(self._spawn(i))
-        elif self.warm:
-            _warm_contexts(self.warm, self._inline_contexts,
-                           self.parallel_msm, self.msm_window,
-                           self.msm_interval, self._get_inline_executor())
+            self._start_pipeline()
+        else:
+            self._inline_state = WorkerState(
+                shard=0, parallel_msm=parallel_msm,
+                msm_window=msm_window, msm_interval=msm_interval,
+                verify_inline=(verify != "off"),
+                cache_entries=worker_cache,
+            )
+            self._inline_state.setups = self._setups
+            for key, handle in self._build_warm_handles().items():
+                self._inline_state.handles.put(key, handle)
+
+    # -- construction helpers -----------------------------------------------------
 
     @staticmethod
     def _validate_warm(warm) -> tuple:
@@ -450,40 +281,76 @@ class ProvingService:
             entries.append(entry)
         return tuple(entries)
 
+    def _build_warm_handles(self) -> Dict[tuple, ProverHandle]:
+        """Pre-build each warm key's setup + prover (checkpoint tables
+        included) exactly once in this process.  In pooled mode this
+        runs before the fork, so workers inherit instead of rebuild."""
+        self._warm_handles: Dict[tuple, ProverHandle] = {}
+        for entry in self.warm:
+            requested = entry[2] if len(entry) > 2 else None
+            backend = resolve_backend(requested, Telemetry())
+            key = (entry[0], entry[1], backend)
+            if key in self._warm_handles:
+                continue
+            bundle = self._bundle_for(entry[0], entry[1])
+            executor = (self._inline_state.executor if self._inline_state
+                        else _shared_warm_executor())
+            self._warm_handles[key] = ProverHandle(
+                bundle, backend, self.parallel_msm,
+                self.msm_window, self.msm_interval, executor)
+        return self._warm_handles
+
+    def _start_pipeline(self) -> None:
+        from repro.service.pipeline import Pipeline
+
+        shard_map = ShardMap(self.shards)
+        self._build_warm_handles()
+        for entry in self.warm:
+            shard_map.assign((entry[0], entry[1]))
+        worker_cfg = {
+            "parallel_msm": self.parallel_msm,
+            "msm_window": self.msm_window,
+            "msm_interval": self.msm_interval,
+            "verify_inline": self.verify == "inline",
+            "cache_entries": self.worker_cache,
+            "env": self.env,
+        }
+        self._pipeline = Pipeline(
+            workers=self.workers, shards=self.shards,
+            queue_depth=self.queue_depth, timeout=self.timeout,
+            retries=self.retries, verify_mode=self.verify,
+            verify_workers=self.verify_workers, worker_cfg=worker_cfg,
+            setups=self._setups, warm_handles=self._warm_handles,
+            shard_map=shard_map, wrap_result=self._wrap,
+            verify_fn=self._verify_result,
+        )
+
+    def _bundle_for(self, curve_name: str, circuit_name: str) -> SetupBundle:
+        key = (curve_name, circuit_name)
+        with self._setup_lock:
+            bundle = self._setups.get(key)
+            if bundle is None:
+                bundle = self._setups[key] = SetupBundle(curve_name,
+                                                         circuit_name)
+            return bundle
+
+    def _verify_result(self, result: JobResult) -> bool:
+        """The pooled verify stage: re-derive the verifier from the
+        deterministic setup and check the returned proof bytes."""
+        from repro.snark.serialize import deserialize_proof
+
+        bundle = self._bundle_for(result.curve, result.circuit)
+        proof = deserialize_proof(result.proof_bytes, bundle.curve)
+        return bundle.verifier.verify(proof, result.public_inputs)
+
     # -- lifecycle --------------------------------------------------------------
 
-    def _spawn(self, index: int) -> _WorkerHandle:
-        return _WorkerHandle(self._ctx, index, self._results, self.env,
-                             self.parallel_msm, self.msm_window,
-                             self.msm_interval, self.warm)
-
-    def _get_inline_executor(self):
-        """Inline mode's MSM thread pool, persistent across batches so
-        cached provers (which hold a reference to it) stay usable."""
-        if not self.parallel_msm:
-            return None
-        if self._inline_executor is None:
-            from concurrent.futures import ThreadPoolExecutor
-
-            self._inline_executor = ThreadPoolExecutor(
-                max_workers=5, thread_name_prefix="msm-inline"
-            )
-        return self._inline_executor
-
     def close(self) -> None:
-        for worker in self._pool:
-            try:
-                worker.tasks.put(None)
-            except (OSError, ValueError):  # pragma: no cover
-                pass
-        for worker in self._pool:
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():
-                worker.kill()
-        self._pool = []
-        if self._inline_executor is not None:
-            self._inline_executor.shutdown(wait=False)
-            self._inline_executor = None
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+        if self._inline_state is not None:
+            self._inline_state.executor.shutdown(wait=False)
 
     def __enter__(self) -> "ProvingService":
         return self
@@ -493,24 +360,67 @@ class ProvingService:
 
     # -- job intake -------------------------------------------------------------
 
-    def _as_job(self, item) -> ProofJob:
+    def _as_job(self, item) -> Tuple[ProofJob, Optional[bytes]]:
+        """Normalize one submission; returns the decoded job plus its
+        original wire bytes when the caller already sent wire form (the
+        bytes are forwarded to the worker verbatim — zero-copy)."""
         if isinstance(item, ProofJob):
-            return item
+            return item, None
         if isinstance(item, (bytes, bytearray, memoryview)):
-            return ProofJob.from_request_bytes(bytes(item))
+            raw = bytes(item)
+            return ProofJob.from_request_bytes(raw), raw
         raise ValidationError(
             f"jobs must be ProofJob or request bytes, got "
             f"{type(item).__name__}"
         )
 
-    def _job_task(self, job: ProofJob, pos: int) -> dict:
-        self._ticket += 1
-        return {
-            "pos": pos, "ticket": self._ticket,
-            "job_id": job.job_id, "curve": job.curve,
-            "circuit": job.circuit, "witness": tuple(job.witness),
-            "backend": job.backend,
-        }
+    def _next_job_id(self) -> str:
+        with self._seq_lock:
+            self._job_seq += 1
+            return f"job-{self._job_seq}"
+
+    def submit(self, item, wait: bool = True):
+        """Submit one job (a :class:`ProofJob` or raw request bytes);
+        returns a ``concurrent.futures.Future`` resolving to its
+        :class:`JobResult`.
+
+        ``wait=False`` applies backpressure: if the job's shard queue is
+        full, raises :class:`~repro.errors.ServiceOverloadedError`
+        (carrying ``retry_after`` seconds) instead of blocking.
+        Validation failures never raise — they resolve the future with
+        an ``error_kind="validation"`` result, like :meth:`prove_batch`.
+        """
+        import concurrent.futures
+
+        try:
+            job, raw = self._as_job(item)
+            if job.job_id is None:
+                job = ProofJob(job.curve, job.circuit, job.witness,
+                               job.backend, self._next_job_id())
+            validate_job_inputs(job.curve, job.circuit, job.witness)
+        except ValidationError as exc:
+            future = concurrent.futures.Future()
+            future.set_result(JobResult(
+                job_id=getattr(item, "job_id", None) or "invalid",
+                ok=False,
+                curve=getattr(item, "curve", "?"),
+                circuit=getattr(item, "circuit", "?"),
+                error=str(exc), error_kind="validation",
+            ))
+            return future
+
+        if not self.workers:
+            future = concurrent.futures.Future()
+            future.set_result(self._run_one_inline(job))
+            return future
+
+        from repro.service.pipeline import JobItem
+
+        shard = self._pipeline.shard_map.assign((job.curve, job.circuit))
+        item_ = JobItem(job.job_id, job.curve, job.circuit, shard,
+                        raw if raw is not None else job.request_bytes())
+        self._pipeline.submit(item_, wait=wait)
+        return item_.future
 
     # -- the batch loop ---------------------------------------------------------
 
@@ -518,98 +428,42 @@ class ProvingService:
         """Prove a batch. Accepts :class:`ProofJob` objects and/or raw
         request byte strings; returns one :class:`JobResult` per job,
         in submission order."""
-        results: Dict[int, JobResult] = {}
-        pending: deque = deque()
-        for pos, item in enumerate(jobs):
-            try:
-                job = self._as_job(item)
-                if job.job_id is None:
-                    self._job_seq += 1
-                    job = ProofJob(job.curve, job.circuit, job.witness,
-                                   job.backend, f"job-{self._job_seq}")
-                validate_job_inputs(job.curve, job.circuit, job.witness)
-            except ValidationError as exc:
-                job_id = getattr(item, "job_id", None) or f"invalid-{pos}"
-                results[pos] = JobResult(
-                    job_id=job_id, ok=False,
-                    curve=getattr(item, "curve", "?"),
-                    circuit=getattr(item, "circuit", "?"),
-                    error=str(exc), error_kind="validation",
-                )
-                continue
-            pending.append((pos, self._job_task(job, pos), 1))
+        futures = [self.submit(item, wait=True) for item in jobs]
+        return [f.result() for f in futures]
 
-        if not self.workers:
-            self._run_inline(pending, results)
-        else:
-            self._run_pool(pending, results)
-        return [results[pos] for pos in range(len(jobs))]
-
-    def _run_inline(self, pending: deque, results: Dict[int, JobResult]):
+    def _run_one_inline(self, job: ProofJob) -> JobResult:
         # Contexts (and the MSM executor the cached provers reference)
         # persist on the service: later batches hit warm provers.
-        executor = self._get_inline_executor()
-        while pending:
-            pos, task, attempts = pending.popleft()
-            raw = _execute_job(task, self._inline_contexts,
-                               self.parallel_msm, self.msm_window,
-                               self.msm_interval, executor)
-            results[pos] = self._wrap(raw, attempts)
+        task = {
+            "job_id": job.job_id, "curve": job.curve,
+            "circuit": job.circuit, "witness": tuple(job.witness),
+            "backend": job.backend,
+        }
+        raw = execute_job(task, self._inline_state)
+        result = self._wrap(raw, 1)
+        span = result.job_span
+        self._inline_stats.note_result(
+            result.ok, result.wall_seconds(),
+            phase_breakdown(span) if span else {},
+            (result.telemetry or {}).get("events", []))
+        return result
 
-    def _run_pool(self, pending: deque, results: Dict[int, JobResult]):
-        inflight = 0
-        while pending or inflight:
-            for worker in self._pool:
-                if pending and worker.idle:
-                    pos, task, attempts = pending.popleft()
-                    worker.assign(pos, task, attempts, self.timeout)
-                    inflight += 1
-            try:
-                raw = self._results.get(timeout=0.05)
-            except Empty:
-                raw = None
-            if raw is not None:
-                worker = self._pool[raw["worker"]]
-                current = worker.assignment
-                if current is not None and current[1]["ticket"] == raw["ticket"]:
-                    results[current[0]] = self._wrap(raw, current[2])
-                    worker.finish()
-                    inflight -= 1
-                # else: stale result from a worker that beat its
-                # timeout-kill by a hair — the retry owns the job now.
-            now = time.monotonic()
-            for i, worker in enumerate(self._pool):
-                if worker.idle:
-                    continue
-                timed_out = (worker.deadline is not None
-                             and now > worker.deadline)
-                died = not worker.process.is_alive()
-                if not (timed_out or died):
-                    continue
-                pos, task, attempts = worker.assignment
-                worker.kill()
-                self._pool[i] = self._spawn(worker.index)
-                inflight -= 1
-                if attempts <= self.retries:
-                    # fresh ticket so any late result from the killed
-                    # attempt cannot satisfy the retried job
-                    task = dict(task, ticket=self._next_ticket())
-                    pending.append((pos, task, attempts + 1))
-                else:
-                    reason = ("timed out" if timed_out
-                              else "worker process died")
-                    results[pos] = JobResult(
-                        job_id=task["job_id"], ok=False,
-                        curve=task["curve"], circuit=task["circuit"],
-                        error=(f"{reason} after {attempts} attempt(s) "
-                               f"of {self.timeout}s"),
-                        error_kind="timeout" if timed_out else "internal",
-                        attempts=attempts, worker=worker.index,
-                    )
+    # -- introspection ----------------------------------------------------------
 
-    def _next_ticket(self) -> int:
-        self._ticket += 1
-        return self._ticket
+    def shard_stats(self) -> List[dict]:
+        """Per-shard utilization rollup: queue-depth high-water mark,
+        prover-context cache hits/misses, per-phase seconds, smoothed
+        job time (see :class:`~repro.service.shard.ShardStats`)."""
+        if self._pipeline is not None:
+            return self._pipeline.shard_stats()
+        return [self._inline_stats.to_dict()]
+
+    def shard_of(self, curve: str, circuit: str) -> int:
+        """The shard that owns (curve, circuit) — assigning it now if
+        the key has never been seen (inline mode is one shard)."""
+        if self._pipeline is not None:
+            return self._pipeline.shard_map.assign((curve, circuit))
+        return 0
 
     @staticmethod
     def _wrap(raw: dict, attempts: int) -> JobResult:
@@ -624,3 +478,19 @@ class ProvingService:
             attempts=attempts, worker=raw.get("worker"),
             telemetry=raw.get("telemetry") or {},
         )
+
+
+_WARM_EXECUTOR = None
+
+
+def _shared_warm_executor():
+    """One fork-safe MSM executor for parent-side warm builds (pooled
+    mode); provers holding it keep working after the fork because
+    :class:`~repro.service.worker.ForkLocalExecutor` rebuilds its pool
+    per process."""
+    global _WARM_EXECUTOR
+    if _WARM_EXECUTOR is None:
+        from repro.service.worker import ForkLocalExecutor
+
+        _WARM_EXECUTOR = ForkLocalExecutor(max_workers=5, name="msm-warm")
+    return _WARM_EXECUTOR

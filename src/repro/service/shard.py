@@ -1,0 +1,129 @@
+"""Shard dispatch for the async proving pipeline.
+
+The service's warm state — deterministic setups, prover handles, MSM
+checkpoint tables — is all keyed by (curve, circuit).  Sharding jobs by
+that key is what keeps the caches hot: a job for a key always lands on
+the shard that already paid the key's preprocessing cost ("When Proofs
+Meet Hardware" keeps heterogeneous proving paths separable by exactly
+this kind of explicit key, and GZKP's §4.1 amortization only pays off
+if the table-owning worker sees the next proof for its circuit).
+
+:class:`ShardMap` implements the affinity policy: the first job for a
+key assigns it to the least-loaded shard (round-robin under ties, by
+assigned-key count), and the assignment is sticky for the service's
+lifetime.  This spreads distinct keys evenly — hashing would risk
+piling every key on one shard at small shard counts — while keeping
+the mapping deterministic within a run.
+
+:class:`ShardStats` is the per-shard telemetry the pipeline exports:
+queue-depth high-water mark, prover-context cache hits/misses, per-phase
+seconds, and the smoothed per-job service time that prices the
+backpressure ``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["ShardMap", "ShardStats"]
+
+ShardKey = Tuple[str, str]      # (curve, circuit)
+
+
+class ShardMap:
+    """Sticky key -> shard assignment with least-loaded placement."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self._assignment: Dict[ShardKey, int] = {}
+        self._loads = [0] * n_shards
+        self._lock = threading.Lock()
+
+    def assign(self, key: ShardKey) -> int:
+        """The shard owning ``key``, assigning it on first sight."""
+        with self._lock:
+            shard = self._assignment.get(key)
+            if shard is None:
+                shard = min(range(self.n_shards),
+                            key=lambda s: (self._loads[s], s))
+                self._assignment[key] = shard
+                self._loads[shard] += 1
+            return shard
+
+    def keys_for(self, shard: int) -> List[ShardKey]:
+        with self._lock:
+            return [k for k, s in self._assignment.items() if s == shard]
+
+    def snapshot(self) -> Dict[ShardKey, int]:
+        with self._lock:
+            return dict(self._assignment)
+
+
+@dataclass
+class ShardStats:
+    """One shard's utilization counters, exported with the span data."""
+
+    shard: int
+    jobs: int = 0
+    errors: int = 0
+    rejections: int = 0
+    queue_depth_hwm: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: smoothed per-job service seconds (EWMA), prices retry_after
+    ewma_job_seconds: float = 0.0
+    _EWMA_ALPHA = 0.3
+
+    def note_depth(self, depth: int) -> None:
+        if depth > self.queue_depth_hwm:
+            self.queue_depth_hwm = depth
+
+    def note_rejection(self) -> None:
+        self.rejections += 1
+
+    def note_result(self, ok: bool, wall_seconds: float,
+                    phases: Dict[str, float], events: List[dict]) -> None:
+        """Fold one finished job's telemetry into the shard rollup."""
+        self.jobs += 1
+        if not ok:
+            self.errors += 1
+        if wall_seconds > 0:
+            if self.ewma_job_seconds == 0.0:
+                self.ewma_job_seconds = wall_seconds
+            else:
+                self.ewma_job_seconds += self._EWMA_ALPHA * (
+                    wall_seconds - self.ewma_job_seconds)
+        for phase, seconds in phases.items():
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds)
+        for event in events:
+            if event.get("kind") == "prover-context-cache":
+                if event.get("detail") == "hit":
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+
+    def retry_after(self, queued: int) -> float:
+        """Backpressure hint: time for ``queued`` jobs to drain at the
+        smoothed service rate (1s/job before any job has finished)."""
+        per_job = self.ewma_job_seconds or 1.0
+        return max(0.05, queued * per_job)
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "jobs": self.jobs,
+            "errors": self.errors,
+            "rejections": self.rejections,
+            "queue_depth_hwm": self.queue_depth_hwm,
+            "context_cache": {"hits": self.cache_hits,
+                              "misses": self.cache_misses},
+            "phase_seconds": {k: round(v, 4)
+                              for k, v in sorted(self.phase_seconds.items())},
+            "ewma_job_seconds": round(self.ewma_job_seconds, 4),
+        }

@@ -54,7 +54,7 @@ def _opcounter_class():
     return _OpCounter
 
 __all__ = ["Span", "Telemetry", "maybe_span", "phase_breakdown",
-           "NULL_SPAN"]
+           "splice_phase", "NULL_SPAN"]
 
 
 class Span:
@@ -216,3 +216,17 @@ def phase_breakdown(span_dict: dict) -> Dict[str, float]:
     carry the per-kernel split but overlap when dispatched in
     parallel, so they are deliberately not flattened in)."""
     return {c["name"]: c["seconds"] for c in span_dict["children"]}
+
+
+def splice_phase(span_dict: dict, name: str, seconds: float,
+                 **meta) -> dict:
+    """Graft a phase that ran *outside* the span tree's process back
+    into an exported job span — the pooled verify stage runs in the
+    parent after the worker's tree is already serialized.  The parent's
+    wall clock is extended by the same amount, preserving the invariant
+    that top-level phases tile the job span."""
+    child = {"name": name, "seconds": seconds, "ops": {},
+             "meta": dict(meta), "children": []}
+    span_dict["children"].append(child)
+    span_dict["seconds"] += seconds
+    return child

@@ -1,4 +1,4 @@
-"""Wire format for proof requests.
+"""Wire formats for proof requests and the worker pipe protocol.
 
 A proof request is (curve, circuit, witness, backend preference) packed
 into bytes so clients can hand the service opaque buffers — the other
@@ -9,7 +9,7 @@ oversized fields and trailing bytes all raise
 :class:`~repro.errors.ValidationError` instead of yielding a
 plausible-looking job.
 
-Layout (big-endian):
+Request layout (big-endian):
 
 ========  =====================================================
 bytes     meaning
@@ -22,21 +22,43 @@ bytes     meaning
 2         witness count (u16)
 per item  u16 byte-length + unsigned big-endian integer
 ========  =====================================================
+
+The same strictness extends to the parent<->worker boundary: the async
+pipeline ships **job frames** (``GZKPJB``) to shard workers and reads
+**result frames** (``GZKPRS``) back, each length-prefixed on the pipe
+(:func:`write_frame` / :class:`FrameReader`).  A job frame embeds the
+client's request buffer *verbatim* — witness bytes cross the process
+boundary exactly once, in the binary format above, never as a pickle.
+A frame whose magic is anything else (including a pickle's
+``\\x80`` protocol header) is rejected with
+:class:`~repro.errors.ValidationError`.
 """
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 
-__all__ = ["MAGIC", "WIRE_VERSION", "ProofRequest", "encode_request",
-           "decode_request"]
+__all__ = ["MAGIC", "JOB_MAGIC", "RESULT_MAGIC", "CONTROL_MAGIC",
+           "WIRE_VERSION", "ProofRequest", "encode_request",
+           "decode_request", "JobFrame", "encode_job_frame",
+           "decode_job_frame", "encode_result_frame",
+           "decode_result_frame", "encode_control_frame",
+           "decode_control_frame", "frame_kind", "write_frame",
+           "FrameReader", "OP_SHUTDOWN"]
 
 MAGIC = b"GZKPRQ"
+JOB_MAGIC = b"GZKPJB"
+RESULT_MAGIC = b"GZKPRS"
+CONTROL_MAGIC = b"GZKPCT"
 WIRE_VERSION = 1
+
+#: control-frame opcodes
+OP_SHUTDOWN = 0
 
 _MAX_NAME = 255
 _MAX_WITNESS = 0xFFFF
@@ -136,3 +158,216 @@ def decode_request(data: bytes) -> ProofRequest:
         )
     return ProofRequest(curve=curve, circuit=circuit,
                         witness=tuple(witness), backend=backend or None)
+
+
+# -- worker pipe protocol -----------------------------------------------------------
+#
+# Everything the pipeline sends to (or receives from) a shard worker is
+# one of three magic-discriminated frames.  None of them round-trips
+# through pickle: names are length-prefixed utf-8, integers are
+# big-endian, and the only structured payload (telemetry) is the plain
+# dict export serialized as utf-8 JSON.
+
+
+@dataclass(frozen=True)
+class JobFrame:
+    """One decoded unit of work as it arrives at a shard worker."""
+
+    ticket: int
+    shard: int
+    job_id: str
+    request: bytes          # a GZKPRQ buffer, forwarded verbatim
+
+
+def _check_magic(reader: "_Reader", magic: bytes, what: str) -> None:
+    got = reader.take(len(magic), f"{what} magic")
+    if got != magic:
+        raise ValidationError(
+            f"bad magic for {what}: {got!r} (pickled or foreign payloads "
+            f"are rejected on the worker boundary)"
+        )
+    version = reader.u8(f"{what} version")
+    if version != WIRE_VERSION:
+        raise ValidationError(f"unsupported {what} version {version}")
+
+
+def encode_job_frame(ticket: int, shard: int, job_id: str,
+                     request: bytes) -> bytes:
+    """Pack one job for the parent->worker pipe.  ``request`` is the
+    client's GZKPRQ buffer, embedded without re-encoding."""
+    out = bytearray()
+    out += JOB_MAGIC
+    out.append(WIRE_VERSION)
+    out += struct.pack(">IH", ticket, shard)
+    out += _encode_name(job_id, "job id")
+    out += struct.pack(">I", len(request))
+    out += request
+    return bytes(out)
+
+
+def decode_job_frame(data: bytes) -> JobFrame:
+    reader = _Reader(bytes(data))
+    _check_magic(reader, JOB_MAGIC, "job frame")
+    ticket, shard = struct.unpack(">IH", reader.take(6, "job header"))
+    job_id = reader.name("job id")
+    req_len = struct.unpack(">I", reader.take(4, "request length"))[0]
+    request = reader.take(req_len, "embedded request")
+    if reader.pos != len(reader.data):
+        raise ValidationError("trailing bytes after job frame")
+    return JobFrame(ticket=ticket, shard=shard, job_id=job_id,
+                    request=bytes(request))
+
+
+def _encode_blob(raw: bytes, what: str) -> bytes:
+    if len(raw) > 0xFFFFFFFF:
+        raise ValidationError(f"{what} too large to encode")
+    return struct.pack(">I", len(raw)) + raw
+
+
+def encode_result_frame(result: dict) -> bytes:
+    """Pack one worker job result for the worker->parent pipe.
+
+    ``result`` is the plain dict the worker's job executor produces:
+    strings, ints, optional proof bytes, a public-input tuple and the
+    telemetry dict export.  Telemetry crosses as JSON — it is plain
+    floats/strings/lists by construction (`Telemetry.to_dict`)."""
+    out = bytearray()
+    out += RESULT_MAGIC
+    out.append(WIRE_VERSION)
+    out += struct.pack(">IB B H", result.get("ticket", 0),
+                       1 if result.get("ok") else 0,
+                       1 if result.get("verified") else 0,
+                       result.get("worker", 0))
+    for key in ("job_id", "curve", "circuit"):
+        out += _encode_name(str(result.get(key) or ""), key)
+    for key in ("backend", "error_kind"):
+        out += _encode_name(str(result.get(key) or ""), key)
+    error = (result.get("error") or "").encode("utf-8")[:0xFFFF]
+    out += struct.pack(">H", len(error)) + error
+    publics = result.get("public_inputs") or ()
+    if len(publics) > _MAX_WITNESS:
+        raise ValidationError("too many public inputs to encode")
+    out += struct.pack(">H", len(publics))
+    for value in publics:
+        raw = int(value).to_bytes((int(value).bit_length() + 7) // 8 or 1,
+                                  "big")
+        out += struct.pack(">H", len(raw)) + raw
+    out += _encode_blob(result.get("proof") or b"", "proof")
+    telemetry = result.get("telemetry") or {}
+    out += _encode_blob(json.dumps(telemetry).encode("utf-8"), "telemetry")
+    return bytes(out)
+
+
+def decode_result_frame(data: bytes) -> dict:
+    reader = _Reader(bytes(data))
+    _check_magic(reader, RESULT_MAGIC, "result frame")
+    ticket, ok, verified, worker = struct.unpack(
+        ">IB B H", reader.take(8, "result header"))
+    result = {
+        "ticket": ticket, "ok": bool(ok), "verified": bool(verified),
+        "worker": worker,
+        "job_id": reader.name("job_id"),
+        "curve": reader.name("curve"),
+        "circuit": reader.name("circuit"),
+    }
+    result["backend"] = reader.name("backend") or None
+    result["error_kind"] = reader.name("error_kind") or None
+    err_len = reader.u16("error length")
+    error = reader.take(err_len, "error").decode("utf-8", "replace")
+    result["error"] = error or None
+    count = reader.u16("public input count")
+    publics = []
+    for i in range(count):
+        length = reader.u16(f"public[{i}] length")
+        publics.append(int.from_bytes(reader.take(length, f"public[{i}]"),
+                                      "big"))
+    result["public_inputs"] = tuple(publics)
+    proof_len = struct.unpack(">I", reader.take(4, "proof length"))[0]
+    proof = bytes(reader.take(proof_len, "proof"))
+    result["proof"] = proof or None
+    tele_len = struct.unpack(">I", reader.take(4, "telemetry length"))[0]
+    raw = reader.take(tele_len, "telemetry")
+    try:
+        result["telemetry"] = json.loads(raw.decode("utf-8")) if raw else {}
+    except (ValueError, UnicodeDecodeError):
+        raise ValidationError("malformed telemetry JSON in result "
+                              "frame") from None
+    if reader.pos != len(reader.data):
+        raise ValidationError("trailing bytes after result frame")
+    return result
+
+
+def encode_control_frame(opcode: int) -> bytes:
+    return CONTROL_MAGIC + bytes([WIRE_VERSION, opcode & 0xFF])
+
+
+def decode_control_frame(data: bytes) -> int:
+    reader = _Reader(bytes(data))
+    _check_magic(reader, CONTROL_MAGIC, "control frame")
+    opcode = reader.u8("opcode")
+    if reader.pos != len(reader.data):
+        raise ValidationError("trailing bytes after control frame")
+    return opcode
+
+
+def frame_kind(data: bytes) -> bytes:
+    """The magic of a raw frame (for dispatch), strictly checked."""
+    prefix = bytes(data[:6])
+    if prefix not in (JOB_MAGIC, RESULT_MAGIC, CONTROL_MAGIC, MAGIC):
+        raise ValidationError(
+            f"unknown frame magic {prefix!r} (pickled or foreign payloads "
+            f"are rejected on the worker boundary)"
+        )
+    return prefix
+
+
+# -- length-prefixed pipe streams ---------------------------------------------------
+
+
+def write_frame(fd: int, frame: bytes) -> None:
+    """Write one ``u32 length + frame`` record to a pipe fd, handling
+    short writes."""
+    import os
+
+    buf = memoryview(struct.pack(">I", len(frame)) + frame)
+    while buf:
+        written = os.write(fd, buf)
+        buf = buf[written:]
+
+
+class FrameReader:
+    """Incremental reader of length-prefixed frames from a pipe fd.
+
+    :meth:`next_frame` blocks until one whole frame is buffered and
+    returns it, or returns ``None`` on EOF (writer closed / died)."""
+
+    _MAX_FRAME = 1 << 28    # 256 MiB: a corrupt length never OOMs the parent
+
+    def __init__(self, fd: int):
+        self.fd = fd
+        self._buf = bytearray()
+
+    def _fill(self, need: int) -> bool:
+        import os
+
+        while len(self._buf) < need:
+            try:
+                chunk = os.read(self.fd, 1 << 16)
+            except OSError:
+                return False
+            if not chunk:
+                return False
+            self._buf += chunk
+        return True
+
+    def next_frame(self) -> Optional[bytes]:
+        if not self._fill(4):
+            return None
+        length = struct.unpack(">I", bytes(self._buf[:4]))[0]
+        if length > self._MAX_FRAME:
+            raise ValidationError(f"oversized frame ({length} bytes)")
+        if not self._fill(4 + length):
+            return None
+        frame = bytes(self._buf[4:4 + length])
+        del self._buf[:4 + length]
+        return frame
