@@ -7,26 +7,112 @@ over Fq2 are *twisted* into E(Fq12), line functions are evaluated at the
 (embedded) G1 argument, and the Miller accumulator is raised to
 (q^12 - 1)/r in the final exponentiation.
 
+Batch verification needs two things beyond the plain pairing:
+
+* a **multi-pairing** API (:class:`MillerAccumulator`) that multiplies
+  many Miller values together and pays the final exponentiation once;
+* **fixed-argument precomputation** (:meth:`PairingEngine.prepare_g2`):
+  the Miller loop's point arithmetic depends only on the G2 argument,
+  so for a G2 point that never changes (a verifying key's beta/gamma/
+  delta) the doubling/addition line *coefficients* are computed once
+  and replayed against any G1 argument — a replay is ~4x cheaper than
+  a fresh loop here and bit-identical to it.
+
+Every pairing entry point takes an optional
+:class:`~repro.ff.opcount.OpCounter` and counts ``miller_loop`` /
+``final_exp`` / ``g2_precomp`` ops, so callers can machine-check
+pairing economics (a batch of N proofs must cost exactly N+3 Miller
+loops and 1 final exponentiation) instead of trusting a docstring.
+
 This is a verifier-side component — never on the prover's hot path — so
 clarity is preferred over speed throughout.
 
-The MNT4753 surrogate curve is supersingular (embedding degree 2) and has
-no Fq12 tower; the SNARK layer verifies MNT proofs with a trapdoor
-equation check instead (see DESIGN.md §2 and repro.snark.verifier).
+The MNT4753 surrogate curve is supersingular (embedding degree 2) and
+has no Fq12 tower; its Groth16 path runs a real reduced Tate pairing
+over Fq2 instead (:mod:`repro.curves.tate`), which implements the same
+accumulator/prepare interface.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import CurveError
 from repro.ff.extension import ExtElement, ExtensionField
 from repro.ff.params import ALT_BN128_Q, ALT_BN128_R, BLS12_381_Q, BLS12_381_R
 
-__all__ = ["PairingEngine", "bn128_pairing", "bls12_381_pairing"]
+__all__ = ["PairingEngine", "PreparedG2", "MillerAccumulator",
+           "bn128_pairing", "bls12_381_pairing"]
 
 Point = Optional[Tuple[ExtElement, ExtElement]]
+
+
+def _count(counter, op: str, n: int = 1) -> None:
+    if counter is not None:
+        counter.count(op, n)
+
+
+@dataclass(frozen=True)
+class PreparedG2:
+    """Fixed-argument precomputation for one G2 point: the ordered line
+    coefficients of its Miller loop, replayable against any G1 point.
+
+    ``steps`` entries are ``(kind, lam, x, y)`` with ``kind`` either
+    ``"sm"`` (doubling step: square-then-multiply into the accumulator)
+    or ``"m"`` (addition / Frobenius step: multiply only); ``lam`` is
+    the line slope through ``(x, y)``, or ``None`` for a vertical line.
+    """
+
+    engine_name: str
+    steps: Tuple[tuple, ...]
+
+
+class MillerAccumulator:
+    """Multi-pairing accumulator: many Miller loops, one final
+    exponentiation.
+
+    This is how real verifiers batch product-of-pairings checks — the
+    Miller values are multiplied in the target field's unreduced form,
+    and the (expensive) final exponentiation is applied once to the
+    product. Works with any engine exposing ``unity`` /
+    ``miller_pair`` / ``miller_prepared`` / ``final_exponentiate``
+    (the optimal-ate engines here and the MNT Tate engine).
+
+    Pairs with an infinity component contribute the identity and cost
+    no Miller loop (mirroring ``pairing_product_is_one``).
+    """
+
+    def __init__(self, engine, counter=None):
+        self.engine = engine
+        self.counter = counter
+        self._acc = engine.unity
+
+    def accumulate(self, g1_point, g2_point) -> "MillerAccumulator":
+        """Fold e(P, Q)'s Miller value into the product (one loop)."""
+        if g1_point is not None and g2_point is not None:
+            self._acc = self._acc * self.engine.miller_pair(
+                g1_point, g2_point, counter=self.counter)
+        return self
+
+    def accumulate_prepared(self, g1_point,
+                            prepared: PreparedG2) -> "MillerAccumulator":
+        """Fold e(P, Q_fixed) via Q's precomputed lines (one replay,
+        counted as one Miller loop — it is one, minus the point maths)."""
+        if g1_point is not None:
+            self._acc = self._acc * self.engine.miller_prepared(
+                g1_point, prepared, counter=self.counter)
+        return self
+
+    def result(self):
+        """The reduced product: final-exponentiated accumulator."""
+        return self.engine.final_exponentiate(self._acc,
+                                              counter=self.counter)
+
+    def is_one(self) -> bool:
+        """True iff the accumulated pairing product is the identity."""
+        return self.result() == self.engine.unity
 
 
 @dataclass(frozen=True)
@@ -86,6 +172,11 @@ class PairingEngine:
         self._w2 = self._w * self._w
         self._w3 = self._w2 * self._w
         self._final_exp = (params.field_modulus ** 12 - 1) // params.curve_order
+        # fixed-argument line caches, keyed by the G2 point's Fq2
+        # coordinates (a verifying key's beta/gamma/delta land here once
+        # and are replayed for every batch under that key)
+        self._prepared: dict = {}
+        self._prepared_lock = threading.Lock()
 
     # -- embeddings ---------------------------------------------------------------
 
@@ -155,9 +246,11 @@ class PairingEngine:
 
     # -- pairing -------------------------------------------------------------------
 
-    def miller_loop(self, q_pt: Point, p_pt: Point) -> ExtElement:
+    def miller_loop(self, q_pt: Point, p_pt: Point,
+                    counter=None) -> ExtElement:
         if q_pt is None or p_pt is None:
             return self.fq12.one
+        _count(counter, "miller_loop")
         prm = self.params
         r_pt = q_pt
         f = self.fq12.one
@@ -176,17 +269,19 @@ class PairingEngine:
             f = f * self._linefunc(r_pt, nq2, p_pt)
         return f
 
-    def final_exponentiate(self, f: ExtElement) -> ExtElement:
+    def final_exponentiate(self, f: ExtElement, counter=None) -> ExtElement:
+        _count(counter, "final_exp")
         return f ** self._final_exp
 
-    def pairing(self, g1_point, g2_point) -> ExtElement:
+    def pairing(self, g1_point, g2_point, counter=None) -> ExtElement:
         """e(P, Q) with P in G1 (int coords) and Q in G2 (Fq2 coords)."""
         if g1_point is None or g2_point is None:
             return self.fq12.one
-        f = self.miller_loop(self.twist_g2(g2_point), self.cast_g1(g1_point))
-        return self.final_exponentiate(f)
+        f = self.miller_loop(self.twist_g2(g2_point), self.cast_g1(g1_point),
+                             counter=counter)
+        return self.final_exponentiate(f, counter=counter)
 
-    def pairing_product_is_one(self, pairs) -> bool:
+    def pairing_product_is_one(self, pairs, counter=None) -> bool:
         """Check prod e(P_i, Q_i) == 1 with one shared final
         exponentiation (how real verifiers batch the Groth16 check)."""
         acc = self.fq12.one
@@ -194,9 +289,99 @@ class PairingEngine:
             if g1_point is None or g2_point is None:
                 continue
             acc = acc * self.miller_loop(
-                self.twist_g2(g2_point), self.cast_g1(g1_point)
+                self.twist_g2(g2_point), self.cast_g1(g1_point),
+                counter=counter,
             )
-        return self.final_exponentiate(acc) == self.fq12.one
+        return self.final_exponentiate(acc, counter=counter) == self.fq12.one
+
+    # -- multi-pairing / fixed-argument interface -----------------------------------
+
+    @property
+    def unity(self) -> ExtElement:
+        """The identity of the pairing target group (Fq12's one)."""
+        return self.fq12.one
+
+    def accumulator(self, counter=None) -> MillerAccumulator:
+        """A fresh multi-pairing accumulator over this engine."""
+        return MillerAccumulator(self, counter=counter)
+
+    def miller_pair(self, g1_point, g2_point, counter=None) -> ExtElement:
+        """The Miller value of one (G1, G2) pair — accumulator hook."""
+        return self.miller_loop(self.twist_g2(g2_point),
+                                self.cast_g1(g1_point), counter=counter)
+
+    def _line_coeffs(self, p1: Point, p2: Point) -> tuple:
+        """(slope, x, y) of the line through p1 and p2 — the three
+        :meth:`_linefunc` cases with the evaluation point factored out
+        (``slope=None`` marks a vertical line)."""
+        x1, y1 = p1
+        x2, y2 = p2
+        if x1 != x2:
+            return ((y2 - y1) / (x2 - x1), x1, y1)
+        if y1 == y2:
+            return (x1 * x1 * 3 / (y1 * 2), x1, y1)
+        return (None, x1, y1)
+
+    def prepare_g2(self, g2_point, counter=None) -> PreparedG2:
+        """Precompute (and cache) the Miller-loop line coefficients of a
+        fixed G2 point.
+
+        The loop's point doublings/additions and line slopes depend only
+        on Q; replaying them against a G1 argument
+        (:meth:`miller_prepared`) skips all Fq12 point arithmetic and is
+        bit-identical to :meth:`miller_loop`. Cached per engine keyed by
+        Q's affine Fq2 coordinates — a verifying key's beta/gamma/delta
+        are prepared once and reused across every batch under that key
+        (``g2_precomp`` counts actual builds, so reuse is checkable).
+        """
+        if g2_point is None:
+            raise CurveError("cannot prepare the point at infinity")
+        key = (g2_point[0], g2_point[1])
+        with self._prepared_lock:
+            prepared = self._prepared.get(key)
+        if prepared is not None:
+            return prepared
+        _count(counter, "g2_precomp")
+        prm = self.params
+        q_pt = self.twist_g2(g2_point)
+        steps: List[tuple] = []
+        r_pt = q_pt
+        for i in range(prm.log_ate_loop_count, -1, -1):
+            steps.append(("sm",) + self._line_coeffs(r_pt, r_pt))
+            r_pt = self._double(r_pt)
+            if prm.ate_loop_count & (1 << i):
+                steps.append(("m",) + self._line_coeffs(r_pt, q_pt))
+                r_pt = self._add(r_pt, q_pt)
+        if prm.bn_final_steps:
+            fq = prm.field_modulus
+            q1 = (q_pt[0] ** fq, q_pt[1] ** fq)
+            nq2 = (q1[0] ** fq, -(q1[1] ** fq))
+            steps.append(("m",) + self._line_coeffs(r_pt, q1))
+            r_pt = self._add(r_pt, q1)
+            steps.append(("m",) + self._line_coeffs(r_pt, nq2))
+        prepared = PreparedG2(self.params.name, tuple(steps))
+        with self._prepared_lock:
+            self._prepared.setdefault(key, prepared)
+        return prepared
+
+    def miller_prepared(self, g1_point, prepared: PreparedG2,
+                        counter=None) -> ExtElement:
+        """Replay a prepared G2's lines at a G1 point: the same Miller
+        value :meth:`miller_loop` produces, without the point maths."""
+        if prepared.engine_name != self.params.name:
+            raise CurveError(
+                f"prepared lines are for {prepared.engine_name}, "
+                f"engine is {self.params.name}"
+            )
+        if g1_point is None:
+            return self.fq12.one
+        _count(counter, "miller_loop")
+        xt, yt = self.cast_g1(g1_point)
+        f = self.fq12.one
+        for kind, lam, x1, y1 in prepared.steps:
+            line = (xt - x1) if lam is None else lam * (xt - x1) - (yt - y1)
+            f = f * f * line if kind == "sm" else f * line
+        return f
 
 
 _ENGINES = {}

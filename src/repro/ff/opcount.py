@@ -29,6 +29,9 @@ OP_NAMES = (
     "padd",          # elliptic-curve point addition (incl. doubling)
     "pdbl",          # elliptic-curve point doubling (when tracked separately)
     "butterfly",     # NTT butterfly (1 fr_mul + 2 fr_add)
+    "miller_loop",   # pairing Miller loop (full or prepared-line replay)
+    "final_exp",     # pairing final exponentiation
+    "g2_precomp",    # fixed-argument G2 line precomputation (build, not hit)
 )
 
 

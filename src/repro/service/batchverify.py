@@ -1,0 +1,286 @@
+"""Windowed batched verification for the proving service.
+
+``verify="batched"`` replaces the per-proof pooled verify with a
+windowing stage: finished proofs accumulate per (curve, circuit) until
+a window fills (``verify_window`` jobs) or ages out
+(``verify_window_timeout`` seconds), then the whole window is checked
+with **one** random-linear-combination batch —
+:meth:`~repro.snark.verifier.BatchVerifier.verify_window` — costing
+N + 3 Miller loops and a single final exponentiation instead of N
+per-proof checks at 4 + 1 each. A dirty window is bisected so only the
+offending job(s) fail; clean siblings in the same window still verify.
+
+The stage is thread-agnostic: results arrive from the pipeline loop (or
+the inline caller), windows are flushed onto the stage's own small
+thread pool, and each job's completion callback is invoked from a pool
+thread — the pipeline marshals back to its loop before touching shard
+stats or futures. Timers guarantee progress for trickle traffic (a
+direct ``submit()`` never waits for a window that will not fill).
+
+Each verified job's exported span tree gets a ``verify`` phase spliced
+in with ``stage="batched"`` plus the window's share of wall clock and
+its pairing economics (``window``, ``miller_loops``, ``final_exps``) —
+so the N + 3 claim is visible in every job's telemetry, not just in
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ff.opcount import OpCounter
+from repro.service.telemetry import splice_phase
+
+__all__ = ["BatchVerifyStage", "verify_results_aggregate"]
+
+
+class _Pending:
+    """One finished-but-unverified job parked in a window."""
+
+    __slots__ = ("result", "done")
+
+    def __init__(self, result, done: Callable) -> None:
+        self.result = result
+        self.done = done
+
+
+class BatchVerifyStage:
+    """Accumulates finished proofs into per-key windows and verifies
+    each window as one RLC batch on a private thread pool."""
+
+    def __init__(self, bundle_for: Callable, window_size: int = 8,
+                 window_timeout: float = 0.25,
+                 soundness_bits: int = 128,
+                 verify_workers: int = 2):
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if window_timeout <= 0:
+            raise ValueError("window_timeout must be > 0")
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._bundle_for = bundle_for
+        self.window_size = window_size
+        self.window_timeout = window_timeout
+        self.soundness_bits = soundness_bits
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, verify_workers),
+            thread_name_prefix="svc-batchverify")
+        self._lock = threading.Lock()
+        self._windows: Dict[Tuple[str, str], List[_Pending]] = {}
+        self._timers: Dict[Tuple[str, str], threading.Timer] = {}
+        self._inflight: set = set()
+        self._closed = False
+        #: windows flushed by fill vs. by timer (introspection/tests)
+        self.windows_filled = 0
+        self.windows_timed_out = 0
+
+    # -- intake ------------------------------------------------------------------
+
+    def add(self, result, done: Callable) -> None:
+        """Park one ok result for windowed verification; ``done(result)``
+        fires (from a stage pool thread) once its window is checked."""
+        key = (result.curve, result.circuit)
+        batch: Optional[List[_Pending]] = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batch verify stage is closed")
+            window = self._windows.setdefault(key, [])
+            window.append(_Pending(result, done))
+            if len(window) >= self.window_size:
+                batch = self._windows.pop(key)
+                self._cancel_timer(key)
+                self.windows_filled += 1
+            elif key not in self._timers:
+                timer = threading.Timer(self.window_timeout,
+                                        self._timer_flush, args=(key,))
+                timer.daemon = True
+                self._timers[key] = timer
+                timer.start()
+        if batch:
+            self._submit(key, batch)
+
+    def _cancel_timer(self, key) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _timer_flush(self, key) -> None:
+        with self._lock:
+            self._timers.pop(key, None)
+            batch = self._windows.pop(key, None)
+            if batch:
+                self.windows_timed_out += 1
+        if batch:
+            self._submit(key, batch)
+
+    def flush(self) -> None:
+        """Flush every partial window now (verification still runs
+        asynchronously on the stage pool)."""
+        with self._lock:
+            drained = list(self._windows.items())
+            self._windows.clear()
+            for key, _ in drained:
+                self._cancel_timer(key)
+        for key, batch in drained:
+            if batch:
+                self._submit(key, batch)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Flush everything and block until all in-flight windows have
+        completed (shutdown path)."""
+        self.flush()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                inflight = list(self._inflight)
+            if not inflight:
+                return
+            for fut in inflight:
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                try:
+                    fut.result(timeout=remaining)
+                except Exception:  # noqa: BLE001 — per-job errors already routed
+                    pass
+
+    def close(self) -> None:
+        self.drain()
+        with self._lock:
+            self._closed = True
+            for key in list(self._timers):
+                self._cancel_timer(key)
+        self._pool.shutdown(wait=True)
+
+    # -- the window check --------------------------------------------------------
+
+    def _submit(self, key, batch: List[_Pending]) -> None:
+        fut = self._pool.submit(self._verify_window, key, batch)
+        with self._lock:
+            self._inflight.add(fut)
+        fut.add_done_callback(self._forget)
+
+    def _forget(self, fut) -> None:
+        with self._lock:
+            self._inflight.discard(fut)
+
+    def _verify_window(self, key, batch: List[_Pending]) -> None:
+        """Runs on the stage pool: deserialize, one RLC window check
+        (bisecting on failure), then splice telemetry and complete every
+        job. Never raises — malformed proofs become per-job errors."""
+        from repro.snark.serialize import deserialize_proof
+
+        curve_name, circuit_name = key
+        t0 = time.perf_counter()
+        try:
+            bundle = self._bundle_for(curve_name, circuit_name)
+            checker = bundle.batch_verifier(self.soundness_bits)
+        except Exception as exc:  # noqa: BLE001 — setup failure fails the window
+            self._fail_all(batch, f"{type(exc).__name__}: {exc}")
+            return
+
+        proofs, publics, entries, decode_errors = [], [], [], []
+        for pending in batch:
+            try:
+                proofs.append(deserialize_proof(pending.result.proof_bytes,
+                                                bundle.curve))
+                publics.append(list(pending.result.public_inputs))
+                entries.append(pending)
+            except Exception as exc:  # noqa: BLE001 — bad bytes = that job only
+                decode_errors.append((pending, f"{type(exc).__name__}: {exc}"))
+
+        counter = OpCounter()
+        bad: List[int] = []
+        ok = True
+        error: Optional[str] = None
+        if entries:
+            try:
+                ok, bad = checker.verify_window(proofs, publics,
+                                                counter=counter)
+            except Exception as exc:  # noqa: BLE001
+                ok, bad = False, list(range(len(entries)))
+                error = f"{type(exc).__name__}: {exc}"
+        seconds = time.perf_counter() - t0
+        share = seconds / max(1, len(batch))
+        meta = {
+            "stage": "batched",
+            "window": len(batch),
+            "miller_loops": counter.total("miller_loop"),
+            "final_exps": counter.total("final_exp"),
+        }
+        bad_set = set(bad)
+        for i, pending in enumerate(entries):
+            self._finish(pending, i not in bad_set, share, meta,
+                         error or "proof failed batched verification")
+        for pending, reason in decode_errors:
+            self._finish(pending, False, share, meta, reason)
+
+    def _finish(self, pending: _Pending, verified: bool, seconds: float,
+                meta: dict, error: str) -> None:
+        result = pending.result
+        span = result.job_span
+        if span is not None:
+            splice_phase(span, "verify", seconds, **meta)
+        if verified:
+            result.verified = True
+        else:
+            result.ok = False
+            result.verified = False
+            result.proof_bytes = None
+            result.error = error
+            result.error_kind = "verify"
+        pending.done(result)
+
+    def _fail_all(self, batch: List[_Pending], reason: str) -> None:
+        for pending in batch:
+            self._finish(pending, False, 0.0,
+                         {"stage": "batched", "window": len(batch)}, reason)
+
+
+def verify_results_aggregate(results, bundle_for: Callable,
+                             soundness_bits: int = 128) -> dict:
+    """One accept/reject verdict over a whole job batch.
+
+    Groups ok results by (curve, circuit), runs one RLC window check
+    per group, and folds the verdicts: ``ok`` is True iff every proof
+    in every group verifies (and no job in ``results`` had already
+    failed). ``bad_jobs`` names the offending job ids — isolated by
+    bisection, so one forged proof does not smear its siblings.
+    """
+    from repro.snark.serialize import deserialize_proof
+
+    groups: Dict[Tuple[str, str], list] = {}
+    bad_jobs: List[str] = []
+    checked = 0
+    counter = OpCounter()
+    for result in results:
+        if not result.ok or result.proof_bytes is None:
+            bad_jobs.append(result.job_id)
+            continue
+        groups.setdefault((result.curve, result.circuit), []).append(result)
+    for (curve_name, circuit_name), members in groups.items():
+        bundle = bundle_for(curve_name, circuit_name)
+        checker = bundle.batch_verifier(soundness_bits)
+        proofs, publics, ids = [], [], []
+        for result in members:
+            try:
+                proofs.append(deserialize_proof(result.proof_bytes,
+                                                bundle.curve))
+                publics.append(list(result.public_inputs))
+                ids.append(result.job_id)
+            except Exception:  # noqa: BLE001 — undecodable proof = bad job
+                bad_jobs.append(result.job_id)
+        if not proofs:
+            continue
+        checked += len(proofs)
+        ok, bad = checker.verify_window(proofs, publics, counter=counter)
+        if not ok:
+            bad_jobs.extend(ids[i] for i in bad)
+    return {
+        "ok": not bad_jobs,
+        "bad_jobs": sorted(bad_jobs),
+        "proofs_checked": checked,
+        "miller_loops": counter.total("miller_loop"),
+        "final_exps": counter.total("final_exp"),
+    }

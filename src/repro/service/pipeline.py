@@ -22,7 +22,15 @@ Layering (ingest -> shard dispatch -> worker -> verify pool):
   never serialized behind pairing checks (the fork-pool design spent
   ~70% of its wall clock there).  The verify span is spliced back into
   the job's exported span tree, keeping the phases-tile-the-wall
-  telemetry invariant.
+  telemetry invariant.  ``verify="batched"`` swaps the per-proof pool
+  check for the windowing stage
+  (:class:`~repro.service.batchverify.BatchVerifyStage`): finished
+  proofs park in per-(curve, circuit) windows and each window is
+  verified as one random-linear-combination batch — N + 3 Miller loops
+  and one final exponentiation for N proofs — with bisection isolating
+  any offending job.  Stage callbacks marshal back to the loop thread
+  (:meth:`Pipeline._complete`) before shard stats or futures are
+  touched.
 
 The pipeline reports per-shard utilization
 (:class:`~repro.service.shard.ShardStats`): queue-depth high-water
@@ -176,7 +184,7 @@ class Pipeline:
                  verify_mode: str, verify_workers: int,
                  worker_cfg: dict, setups: Dict[Tuple[str, str], SetupBundle],
                  warm_handles: dict, shard_map: ShardMap,
-                 wrap_result, verify_fn):
+                 wrap_result, verify_fn, batch_stage=None):
         if "fork" not in mp.get_all_start_methods():
             raise ServiceError(
                 "the pooled proving service requires the fork start "
@@ -191,6 +199,7 @@ class Pipeline:
         self.shard_map = shard_map
         self._wrap_result = wrap_result
         self._verify_fn = verify_fn
+        self._batch_stage = batch_stage
         self.stats: List[ShardStats] = [ShardStats(s) for s in range(shards)]
         self._ticket = 0
         self._closing = False
@@ -330,9 +339,24 @@ class Pipeline:
 
     async def _finalize(self, item: JobItem, raw: dict) -> None:
         result = self._wrap_result(raw, item.attempts)
+        if self.verify_mode == "batched" and result.ok:
+            # Park the result in the windowing stage; its completion
+            # callback runs on a stage pool thread, so marshal back to
+            # the loop before touching shard stats or the future.
+            self._batch_stage.add(
+                result,
+                lambda res, it=item: self._loop.call_soon_threadsafe(
+                    self._complete, it, res))
+            return
         if self.verify_mode == "pool" and result.ok:
             await self._loop.run_in_executor(
                 self._verify_pool, self._pool_verify, result)
+        self._complete(item, result)
+
+    def _complete(self, item: JobItem, result) -> None:
+        """Finish one job — always on the pipeline loop thread, where
+        :class:`~repro.service.shard.ShardStats` may be touched
+        unlocked."""
         span = result.job_span
         self.stats[item.shard].note_result(
             result.ok, result.wall_seconds(),
@@ -386,6 +410,11 @@ class Pipeline:
         if self._side_tasks:
             await asyncio.gather(*list(self._side_tasks),
                                  return_exceptions=True)
+        if self._batch_stage is not None:
+            # flush partial windows so every accepted job's future
+            # resolves before the loop stops
+            await self._loop.run_in_executor(None, self._batch_stage.drain)
+            await asyncio.sleep(0)  # let marshalled completions land
         for slot in self._slots:
             await self._loop.run_in_executor(None, slot.proc.shutdown)
 

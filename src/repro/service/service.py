@@ -66,7 +66,7 @@ from repro.service.worker import (SETUP_SEED_FMT, ProverHandle, SetupBundle,
 __all__ = ["ProofJob", "JobResult", "ProvingService", "setup_for",
            "SETUP_SEED_FMT"]
 
-VERIFY_MODES = ("pool", "inline", "off")
+VERIFY_MODES = ("pool", "inline", "off", "batched")
 
 
 def setup_for(curve_name: str, circuit_name: str):
@@ -178,7 +178,20 @@ class ProvingService:
     * ``verify`` — ``"pool"`` (default) re-verifies proofs on a
       parent-side thread pool of ``verify_workers`` threads, off the
       workers' critical path; ``"inline"`` verifies inside the worker;
-      ``"off"`` skips verification (results have ``verified=False``).
+      ``"off"`` skips verification (results have ``verified=False``);
+      ``"batched"`` windows finished proofs per (curve, circuit) and
+      checks each window as one random-linear-combination batch —
+      N + 3 Miller loops and one final exponentiation for N proofs
+      instead of N separate pairing checks
+      (:mod:`repro.service.batchverify`).
+    * ``verify_window`` / ``verify_window_timeout`` — batched mode's
+      window size and max age: a window is checked when it holds
+      ``verify_window`` proofs or ``verify_window_timeout`` seconds
+      after its first proof arrived, whichever comes first (so a lone
+      ``submit()`` never waits on a window that will not fill).
+    * ``soundness_bits`` — width of the batch's random coefficients; an
+      invalid window survives with probability below
+      ``2**-soundness_bits``.
     * ``worker_cache`` — bound on each worker's resident prover
       handles (the MSM checkpoint tables; GZKP Figure 9's
       preprocessing-memory budget).  ``None`` means unbounded.
@@ -201,6 +214,9 @@ class ProvingService:
                  queue_depth: int = 16,
                  verify: str = "pool",
                  verify_workers: int = 2,
+                 verify_window: int = 8,
+                 verify_window_timeout: float = 0.25,
+                 soundness_bits: int = 128,
                  worker_cache: Optional[int] = None):
         if workers < 0:
             raise ServiceError("workers must be >= 0")
@@ -219,6 +235,12 @@ class ProvingService:
                 f"workers={workers}")
         if worker_cache is not None and worker_cache < 1:
             raise ServiceError("worker_cache must be >= 1 (or None)")
+        if verify_window < 1:
+            raise ServiceError("verify_window must be >= 1")
+        if verify_window_timeout <= 0:
+            raise ServiceError("verify_window_timeout must be > 0")
+        if soundness_bits < 1:
+            raise ServiceError("soundness_bits must be >= 1")
         self.workers = workers
         self.parallel_msm = parallel_msm
         self.timeout = timeout
@@ -231,6 +253,9 @@ class ProvingService:
         self.queue_depth = queue_depth
         self.verify = verify
         self.verify_workers = verify_workers
+        self.verify_window = verify_window
+        self.verify_window_timeout = verify_window_timeout
+        self.soundness_bits = soundness_bits
         self.worker_cache = worker_cache
 
         self._job_seq = 0
@@ -240,6 +265,18 @@ class ProvingService:
         self._pipeline = None
         self._inline_state: Optional[WorkerState] = None
         self._inline_stats = ShardStats(0)
+        self._inline_stats_lock = threading.Lock()
+        self._batch_stage = None
+        if verify == "batched":
+            from repro.service.batchverify import BatchVerifyStage
+
+            self._batch_stage = BatchVerifyStage(
+                bundle_for=self._bundle_for,
+                window_size=verify_window,
+                window_timeout=verify_window_timeout,
+                soundness_bits=soundness_bits,
+                verify_workers=verify_workers,
+            )
 
         if workers:
             self._start_pipeline()
@@ -247,7 +284,7 @@ class ProvingService:
             self._inline_state = WorkerState(
                 shard=0, parallel_msm=parallel_msm,
                 msm_window=msm_window, msm_interval=msm_interval,
-                verify_inline=(verify != "off"),
+                verify_inline=(verify not in ("off", "batched")),
                 cache_entries=worker_cache,
             )
             self._inline_state.setups = self._setups
@@ -323,6 +360,7 @@ class ProvingService:
             setups=self._setups, warm_handles=self._warm_handles,
             shard_map=shard_map, wrap_result=self._wrap,
             verify_fn=self._verify_result,
+            batch_stage=self._batch_stage,
         )
 
     def _bundle_for(self, curve_name: str, circuit_name: str) -> SetupBundle:
@@ -349,6 +387,9 @@ class ProvingService:
         if self._pipeline is not None:
             self._pipeline.close()
             self._pipeline = None
+        if self._batch_stage is not None:
+            self._batch_stage.close()
+            self._batch_stage = None
         if self._inline_state is not None:
             self._inline_state.executor.shutdown(wait=False)
 
@@ -411,7 +452,16 @@ class ProvingService:
 
         if not self.workers:
             future = concurrent.futures.Future()
-            future.set_result(self._run_one_inline(job))
+            result = self._run_one_inline(job)
+            if self._batch_stage is not None and result.ok:
+                # park in the verify window; the future resolves when
+                # the window fills, ages out, or flush_verify() runs
+                self._batch_stage.add(
+                    result,
+                    lambda res, fut=future: self._finish_inline(fut, res))
+            else:
+                self._note_inline(result)
+                future.set_result(result)
             return future
 
         from repro.service.pipeline import JobItem
@@ -427,9 +477,46 @@ class ProvingService:
     def prove_batch(self, jobs: Sequence) -> List[JobResult]:
         """Prove a batch. Accepts :class:`ProofJob` objects and/or raw
         request byte strings; returns one :class:`JobResult` per job,
-        in submission order."""
+        in submission order.  With ``verify="batched"`` the tail window
+        is flushed before gathering, so the last few jobs never idle
+        out the window timeout."""
         futures = [self.submit(item, wait=True) for item in jobs]
+        self.flush_verify()
         return [f.result() for f in futures]
+
+    def flush_verify(self) -> None:
+        """Batched mode: check every partial verify window now instead
+        of waiting for it to fill or age out.  No-op otherwise."""
+        if self._batch_stage is not None:
+            self._batch_stage.flush()
+
+    def aggregate_verify(self, results: Sequence[JobResult]) -> dict:
+        """One accept/reject verdict over a finished job batch: every
+        returned proof is re-checked in per-(curve, circuit) RLC
+        batches (N + 3 Miller loops, one final exponentiation per
+        group) and the verdicts folded.  Returns ``{"ok", "bad_jobs",
+        "proofs_checked", "miller_loops", "final_exps"}`` — ``ok`` is
+        True iff every job succeeded *and* every proof verifies, and
+        ``bad_jobs`` pinpoints offenders by bisection without failing
+        their window siblings."""
+        from repro.service.batchverify import verify_results_aggregate
+
+        return verify_results_aggregate(results, self._bundle_for,
+                                        self.soundness_bits)
+
+    def _note_inline(self, result: JobResult) -> None:
+        span = result.job_span
+        with self._inline_stats_lock:
+            self._inline_stats.note_result(
+                result.ok, result.wall_seconds(),
+                phase_breakdown(span) if span else {},
+                (result.telemetry or {}).get("events", []))
+
+    def _finish_inline(self, future, result: JobResult) -> None:
+        """Completion callback for inline batched verify — runs on a
+        stage pool thread, hence the stats lock."""
+        self._note_inline(result)
+        future.set_result(result)
 
     def _run_one_inline(self, job: ProofJob) -> JobResult:
         # Contexts (and the MSM executor the cached provers reference)
@@ -440,13 +527,7 @@ class ProvingService:
             "backend": job.backend,
         }
         raw = execute_job(task, self._inline_state)
-        result = self._wrap(raw, 1)
-        span = result.job_span
-        self._inline_stats.note_result(
-            result.ok, result.wall_seconds(),
-            phase_breakdown(span) if span else {},
-            (result.telemetry or {}).get("events", []))
-        return result
+        return self._wrap(raw, 1)
 
     # -- introspection ----------------------------------------------------------
 

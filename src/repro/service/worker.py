@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.curves.params import CURVES
@@ -147,6 +148,22 @@ class SetupBundle:
                                                   circuit=circuit_name))
         self.keys = setup(self.r1cs, self.curve, rng=rng)
         self.verifier = Groth16Verifier(self.keys.verifying_key, self.curve)
+        self._batch_verifiers: Dict[int, object] = {}
+        self._batch_lock = threading.Lock()
+
+    def batch_verifier(self, soundness_bits: int = 128):
+        """The memoized :class:`~repro.snark.verifier.BatchVerifier`
+        for this bundle — shared across windows so its verifying-key
+        G2 line precomputation and IC checkpoint table build once."""
+        from repro.snark.verifier import BatchVerifier
+
+        with self._batch_lock:
+            checker = self._batch_verifiers.get(soundness_bits)
+            if checker is None:
+                checker = self._batch_verifiers[soundness_bits] = \
+                    BatchVerifier(self.keys.verifying_key, self.curve,
+                                  soundness_bits=soundness_bits)
+            return checker
 
 
 class ProverHandle:

@@ -73,6 +73,12 @@ class VerifyingKey:
     # IC: (beta u_j + alpha v_j + w_j)/gamma * G1 for public vars
     ic: List[AffinePoint]
 
+    def fixed_g2_points(self) -> List[AffinePoint]:
+        """The three fixed G2 pairing arguments (beta, gamma, delta) —
+        the points whose Miller-loop lines batched verification
+        precomputes once per key (``PairingEngine.prepare_g2``)."""
+        return [self.beta_g2, self.gamma_g2, self.delta_g2]
+
 
 @dataclass
 class Groth16Setup:

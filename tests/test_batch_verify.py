@@ -3,6 +3,8 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.curves import CURVES
 from repro.errors import ProofError
@@ -80,3 +82,257 @@ class TestBatchVerifier:
         single = Groth16Verifier(keys.verifying_key, CURVE)
         for proof, inputs in zip(proofs, publics):
             assert single.verify(proof, inputs)
+
+
+# -- one-Miller-loop-per-proof batching ----------------------------------------------
+
+
+class _RiggedRng:
+    """Deterministic rng stub: returns a fixed value, recording the
+    (lo, hi) bounds every randrange call asked for."""
+
+    def __init__(self, value):
+        self.value = value
+        self.calls = []
+
+    def randrange(self, lo, hi=None):
+        self.calls.append((lo, hi))
+        return self.value
+
+
+class TestCoefficientDraws:
+    def test_zero_coefficient_never_drawn(self, batch_setup):
+        """Regression: a zero r_i silently excludes its proof from the
+        check, so the draw's lower bound must be 1 — even when the rng
+        always answers with the lowest allowed value."""
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        rng = _RiggedRng(1)
+        coeffs = batch.draw_coefficients(len(proofs), rng)
+        assert all(c == 1 for c in coeffs)
+        assert all(lo == 1 for lo, _ in rng.calls)
+
+    def test_soundness_bits_size_the_draw(self, batch_setup):
+        keys, _, _ = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE, soundness_bits=8)
+        rng = _RiggedRng(200)
+        batch.draw_coefficients(5, rng)
+        assert rng.calls == [(1, 256)] * 5
+
+    def test_draw_clamped_to_scalar_field(self, batch_setup):
+        """soundness_bits wider than the field cannot draw out of
+        range."""
+        keys, _, _ = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE,
+                              soundness_bits=4096)
+        rng = _RiggedRng(1)
+        batch.draw_coefficients(1, rng)
+        assert rng.calls == [(1, F.modulus)]
+
+    def test_bad_soundness_bits_rejected(self, batch_setup):
+        keys, _, _ = batch_setup
+        with pytest.raises(ProofError):
+            BatchVerifier(keys.verifying_key, CURVE, soundness_bits=0)
+
+
+class TestPairingEconomics:
+    def test_engine_memoized_per_curve(self):
+        from repro.snark.verifier import pairing_engine_for
+
+        assert pairing_engine_for(CURVE) is pairing_engine_for(CURVE)
+
+    def test_ic_combination_matches_naive_loop(self, batch_setup):
+        keys, _, publics = batch_setup
+        verifier = Groth16Verifier(keys.verifying_key, CURVE)
+        vk = keys.verifying_key
+        g1 = CURVE.g1
+        for inputs in publics:
+            naive = vk.ic[0]
+            for x, point in zip(inputs, vk.ic[1:]):
+                naive = g1.add(naive, g1.scalar_mul(x, point))
+            assert verifier.ic_combination(inputs) == naive
+
+    def test_batch_of_32_runs_35_miller_loops(self, batch_setup):
+        """The tentpole claim, machine-checked: N + 3 Miller loops and
+        exactly one final exponentiation for N = 32."""
+        from repro.ff.opcount import OpCounter
+
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        tiled_p = [proofs[i % len(proofs)] for i in range(32)]
+        tiled_x = [publics[i % len(publics)] for i in range(32)]
+        counter = OpCounter()
+        assert batch.verify_batch(tiled_p, tiled_x, random.Random(9),
+                                  counter=counter)
+        assert counter.total("miller_loop") == 35
+        assert counter.total("final_exp") == 1
+        # the three fixed-argument precomputations build at most once
+        assert counter.total("g2_precomp") <= 3
+
+    def test_precomputation_reused_across_batches(self, batch_setup):
+        from repro.ff.opcount import OpCounter
+
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        assert batch.verify_batch(proofs, publics, random.Random(10))
+        counter = OpCounter()
+        assert batch.verify_batch(proofs, publics, random.Random(11),
+                                  counter=counter)
+        assert counter.total("g2_precomp") == 0
+        assert counter.total("miller_loop") == len(proofs) + 3
+
+    def test_fresh_verifier_shares_engine_precomputation(self, batch_setup):
+        """Two BatchVerifier instances over the same key share the
+        memoized engine, so the second one's first batch pays no
+        g2_precomp either."""
+        from repro.ff.opcount import OpCounter
+
+        keys, proofs, publics = batch_setup
+        first = BatchVerifier(keys.verifying_key, CURVE)
+        assert first.verify_batch(proofs, publics, random.Random(12))
+        second = BatchVerifier(keys.verifying_key, CURVE)
+        counter = OpCounter()
+        assert second.verify_batch(proofs, publics, random.Random(13),
+                                   counter=counter)
+        assert counter.total("g2_precomp") == 0
+
+
+class TestCancellationAttack:
+    """Correlated batch coefficients are the classic RLC failure mode:
+    tamper C_1 by +P and C_2 by -P and the perturbations cancel in the
+    C fold whenever r_1 == r_2.  Independent draws must still catch
+    it."""
+
+    @staticmethod
+    def _tampered_pair(proofs):
+        g1 = CURVE.g1
+        perturb = g1.generator
+        tampered = list(proofs)
+        tampered[0] = type(proofs[0])(
+            a=proofs[0].a, b=proofs[0].b,
+            c=g1.add(proofs[0].c, perturb))
+        tampered[1] = type(proofs[1])(
+            a=proofs[1].a, b=proofs[1].b,
+            c=g1.add(proofs[1].c, g1.neg(perturb)))
+        return tampered
+
+    def test_equal_coefficients_miss_the_tampering(self, batch_setup):
+        """Sanity check that the attack is real: with rigged equal
+        coefficients the tampered batch *passes* — this is why the
+        coefficients must be drawn independently per proof."""
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        tampered = self._tampered_pair(proofs)
+        assert batch.verify_batch(tampered, publics, _RiggedRng(7))
+
+    def test_independent_coefficients_catch_the_tampering(self,
+                                                          batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        tampered = self._tampered_pair(proofs)
+        for seed in (21, 22, 23):
+            assert not batch.verify_batch(tampered, publics,
+                                          random.Random(seed))
+
+
+class TestWindowBisection:
+    def test_clean_window(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        assert batch.verify_window(proofs, publics,
+                                   random.Random(31)) == (True, [])
+
+    def test_window_pinpoints_bad_proof(self, batch_setup):
+        """One forged proof among siblings: the window fails, bisection
+        names exactly the offender, the siblings are not accused."""
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        g1 = CURVE.g1
+        tampered = list(proofs)
+        tampered[1] = type(proofs[1])(
+            a=g1.add(proofs[1].a, g1.generator), b=proofs[1].b,
+            c=proofs[1].c)
+        ok, bad = batch.verify_window(tampered, publics, random.Random(32))
+        assert not ok
+        assert bad == [1]
+
+    def test_window_length_mismatch_raises(self, batch_setup):
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        with pytest.raises(ProofError):
+            batch.verify_window(proofs, publics[:-1], random.Random(33))
+
+
+class TestBatchSizesFuzz:
+    """Hypothesis fuzz across the awkward batch sizes: empty, single,
+    pair, and one crossing the default window multiple."""
+
+    @given(n=st.sampled_from([0, 1, 2, 33]),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=4, deadline=None)
+    def test_tiled_batches_verify(self, batch_setup, n, seed):
+        from repro.ff.opcount import OpCounter
+
+        keys, proofs, publics = batch_setup
+        batch = BatchVerifier(keys.verifying_key, CURVE)
+        tiled_p = [proofs[i % len(proofs)] for i in range(n)]
+        tiled_x = [publics[i % len(publics)] for i in range(n)]
+        counter = OpCounter()
+        assert batch.verify_batch(tiled_p, tiled_x, random.Random(seed),
+                                  counter=counter)
+        if n:
+            assert counter.total("miller_loop") == n + 3
+            assert counter.total("final_exp") == 1
+        else:
+            assert counter.total("miller_loop") == 0
+            assert counter.total("final_exp") == 0
+
+
+@pytest.mark.slow
+class TestMnt4753Batch:
+    """The Tate engine (swapped-orientation fixed-argument loop) agrees
+    with per-proof verification on the 753-bit surrogate."""
+
+    @pytest.fixture(scope="class")
+    def mnt_setup(self):
+        from repro.curves import CURVES
+
+        curve = CURVES["MNT4753"]
+        f = curve.fr
+        r1cs = R1CS(field=f, n_public=1)
+        x = r1cs.new_variable()
+        r1cs.add_constraint({x: 1}, {x: 1}, {1: 1})
+        keys = setup(r1cs, curve, random.Random(77))
+        prover = Groth16Prover(r1cs, keys.proving_key, curve)
+        proofs, publics = [], []
+        for i, x_val in enumerate((5, 19)):
+            assignment = [1, x_val * x_val % f.modulus, x_val]
+            proofs.append(prover.prove(assignment, random.Random(300 + i)))
+            publics.append([x_val * x_val % f.modulus])
+        return curve, keys, proofs, publics
+
+    def test_batch_matches_single(self, mnt_setup):
+        from repro.ff.opcount import OpCounter
+
+        curve, keys, proofs, publics = mnt_setup
+        single = Groth16Verifier(keys.verifying_key, curve)
+        for proof, inputs in zip(proofs, publics):
+            assert single.verify(proof, inputs)
+        batch = BatchVerifier(keys.verifying_key, curve)
+        counter = OpCounter()
+        assert batch.verify_batch(proofs, publics, random.Random(41),
+                                  counter=counter)
+        assert counter.total("miller_loop") == len(proofs) + 3
+        assert counter.total("final_exp") == 1
+
+    def test_batch_rejects_tampering(self, mnt_setup):
+        curve, keys, proofs, publics = mnt_setup
+        g1 = curve.g1
+        batch = BatchVerifier(keys.verifying_key, curve)
+        tampered = list(proofs)
+        tampered[0] = type(proofs[0])(
+            a=g1.add(proofs[0].a, g1.generator), b=proofs[0].b,
+            c=proofs[0].c)
+        ok, bad = batch.verify_window(tampered, publics, random.Random(42))
+        assert not ok
+        assert bad == [0]

@@ -309,6 +309,126 @@ class TestVerifyModes:
             ProvingService(workers=0, verify="sometimes")
 
 
+class TestBatchedVerifyMode:
+    """verify="batched": finished proofs are checked in RLC windows —
+    N + 3 Miller loops and one final exponentiation per window."""
+
+    def test_inline_window_telemetry(self):
+        jobs = [ProofJob(BN, "square", (3 + i,), "python")
+                for i in range(3)]
+        with ProvingService(workers=0, parallel_msm=False,
+                            verify="batched", verify_window=4,
+                            verify_window_timeout=5.0) as svc:
+            # window of 4 never fills with 3 jobs: prove_batch's
+            # flush_verify() must close the partial window
+            results = svc.prove_batch(jobs)
+            assert all(r.ok and r.verified for r in results)
+            for r in results:
+                meta = [c["meta"] for c in r.job_span["children"]
+                        if c["name"] == "verify"]
+                assert len(meta) == 1
+                assert meta[0]["stage"] == "batched"
+                assert meta[0]["window"] == 3
+                # one window of N=3: N + 3 Miller loops, 1 final exp
+                assert meta[0]["miller_loops"] == 6
+                assert meta[0]["final_exps"] == 1
+                phases = r.phase_seconds()
+                assert "verify" in phases
+            stats = svc.shard_stats()
+            assert stats[0]["jobs"] == 3
+
+    def test_pooled_window_end_to_end(self):
+        jobs = [ProofJob(BN, "square", (3 + i,), "python")
+                for i in range(3)]
+        with ProvingService(workers=1, parallel_msm=False,
+                            verify="batched", verify_window=3,
+                            verify_window_timeout=5.0) as svc:
+            results = svc.prove_batch(jobs)
+            assert all(r.ok and r.verified for r in results)
+            meta = [c["meta"] for c in results[0].job_span["children"]
+                    if c["name"] == "verify"]
+            assert meta and meta[0]["stage"] == "batched"
+            assert sum(s["jobs"] for s in svc.shard_stats()) == 3
+
+    def test_window_timeout_flushes_trickle_submit(self):
+        with ProvingService(workers=0, parallel_msm=False,
+                            verify="batched", verify_window=8,
+                            verify_window_timeout=0.2) as svc:
+            future = svc.submit(ProofJob(BN, "square", (5,), "python"))
+            r = future.result(timeout=30)
+            assert r.ok and r.verified
+            meta = [c["meta"] for c in r.job_span["children"]
+                    if c["name"] == "verify"]
+            assert meta[0]["window"] == 1
+            assert svc._batch_stage.windows_timed_out >= 1
+
+    def test_forged_proof_isolated_from_window_siblings(self):
+        """One forged proof in a window: the window fails, bisection
+        pinpoints the forgery, and the sibling jobs still verify."""
+        with ProvingService(workers=0, parallel_msm=False,
+                            verify="batched", verify_window=8,
+                            verify_window_timeout=30.0) as svc:
+            good = svc.prove_batch(
+                [ProofJob(BN, "square", (5,), "python")])[0]
+            assert good.verified
+
+            def replay(job_id, publics):
+                return svc._wrap({
+                    "job_id": job_id, "ok": True, "curve": BN,
+                    "circuit": "square", "proof": good.proof_bytes,
+                    "public_inputs": publics, "backend": "python",
+                    "telemetry": {},
+                }, 1)
+
+            window = [
+                replay("sibling-1", tuple(good.public_inputs)),
+                replay("forged", (int(good.public_inputs[0]) + 1,)),
+                replay("sibling-2", tuple(good.public_inputs)),
+            ]
+            finished = {}
+            for result in window:
+                svc._batch_stage.add(
+                    result, lambda res: finished.setdefault(res.job_id, res))
+            svc._batch_stage.drain()
+            assert finished["sibling-1"].verified
+            assert finished["sibling-2"].verified
+            assert not finished["forged"].ok
+            assert finished["forged"].error_kind == "verify"
+
+    def test_aggregate_verify_verdict(self):
+        jobs = [ProofJob(BN, "square", (3 + i,), "python")
+                for i in range(3)]
+        with ProvingService(workers=0, parallel_msm=False,
+                            verify="off") as svc:
+            results = svc.prove_batch(jobs)
+            assert all(r.ok and not r.verified for r in results)
+            verdict = svc.aggregate_verify(results)
+            assert verdict["ok"]
+            assert verdict["bad_jobs"] == []
+            assert verdict["proofs_checked"] == 3
+            # one group window: N + 3 Miller loops, one final exp
+            assert verdict["miller_loops"] == 6
+            assert verdict["final_exps"] == 1
+            # corrupt one job's public input: verdict flips, the
+            # offender is named, siblings are not
+            results[1].public_inputs = (
+                int(results[1].public_inputs[0]) + 1,)
+            verdict = svc.aggregate_verify(results)
+            assert not verdict["ok"]
+            assert verdict["bad_jobs"] == [results[1].job_id]
+
+    def test_bad_window_knobs_rejected(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="verify_window"):
+            ProvingService(workers=0, verify="batched", verify_window=0)
+        with pytest.raises(ServiceError, match="verify_window_timeout"):
+            ProvingService(workers=0, verify="batched",
+                           verify_window_timeout=0.0)
+        with pytest.raises(ServiceError, match="soundness_bits"):
+            ProvingService(workers=0, verify="batched", soundness_bits=0)
+
+
 class TestPerShardTelemetry:
     def test_pooled_stats_export(self):
         jobs = [ProofJob(BN, c, (3,), "python")
