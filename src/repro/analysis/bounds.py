@@ -13,7 +13,7 @@ dataflow. Each kernel family is modelled as magnitude arithmetic on
 per-row bounds (pure Python ints — no float can round, no int64 can
 wrap inside the certifier itself), and every step that the real kernel
 performs in float64 or int64 records a :class:`~repro.analysis.report.
-BoundCheck` into a tracker that keeps the worst case seen. Three
+BoundCheck` into a tracker that keeps the worst case seen. Four
 families are covered:
 
 * ``dfp`` — the base-2^52 Dekker two-product multiplier.
@@ -23,6 +23,10 @@ families are covered:
 * ``soa-curve`` — the int64 struct-of-arrays Jacobian kernels,
   replaying the exact formula sequences of ``batch_jdouble`` /
   ``batch_jadd`` / ``batch_jmixed_add``.
+* ``native-mont`` — the compiled CIOS Montgomery kernels
+  (:mod:`repro.backend.native`): u128 accumulator range, scratch
+  width, and the canonicality invariants the raw-domain Stockham
+  butterflies rest on.
 
 This module must stay importable from the kernels it certifies (the
 runtime cadence guard in ``numpy_limb`` imports
@@ -45,6 +49,7 @@ __all__ = [
     "certified_safe_clean_every",
     "certify_dfp",
     "certify_numpy_limb",
+    "certify_native_mont",
     "certify_soa_curve",
     "certify_modulus",
     "certify_all",
@@ -737,15 +742,111 @@ def certify_soa_curve(name: str, modulus: int,
     )
 
 
+# -- native CIOS (compiled 64-bit word kernels) --------------------------------
+
+
+def certify_native_mont(name: str, modulus: int) -> KernelCertificate:
+    """Certify the compiled CIOS Montgomery kernels
+    (:mod:`repro.backend.native`): u128 accumulator range in both the
+    multiply and reduction inner loops, the scratch-width gate, the
+    pre-subtract bound that makes one conditional subtract canonical,
+    and the canonicality invariants the raw-domain NTT butterflies
+    (``mod_add_one``/``mod_sub_one`` on values < p, Montgomery twiddle
+    rows < p) depend on.
+
+    The model is exact integer arithmetic on worst-case word values —
+    the C kernel's only representability ceilings are the 128-bit
+    accumulator and the ``t[MAX_WORDS + 2]`` scratch array, so the
+    checks are interval bounds over those two resources.
+    """
+    # Mirrors native.MAX_WORDS; the cross-check test asserts they agree.
+    max_words = 32
+    p = modulus
+    bits = p.bit_length()
+    w = (bits + 63) // 64
+    R = 1 << (64 * w)
+    M = (1 << 64) - 1  # worst-case 64-bit word
+    trk = _Tracker()
+    trk.hit(
+        "cios/odd-modulus", 1 - (p & 1), 1, "structure",
+        "n0inv = -N^-1 mod 2^64 exists only for odd moduli",
+    )
+    trk.hit(
+        "cios/scratch-width", w, max_words - 1, "structure",
+        "the loader gates word width at MAX_WORDS - 2 so the "
+        "t[MAX_WORDS + 2] scratch always covers indices 0..w+1",
+    )
+    # Multiply phase: acc = ai*bp[j] + t[j] + carry, all words <= M.
+    trk.hit(
+        "cios/mul-accumulator", M * M + M + M, 1 << 128, "u128",
+        "the multiply inner-loop accumulator must not wrap unsigned "
+        "__int128",
+    )
+    # Reduction phase: acc = m*N[j] + t[j] + carry, m and N[j] <= M.
+    trk.hit(
+        "cios/reduce-accumulator", M * M + M + M, 1 << 128, "u128",
+        "the reduction inner-loop accumulator must not wrap unsigned "
+        "__int128",
+    )
+    # CIOS invariant: with a, b < p the pre-subtract value is
+    # t = (a*b + m_total*N) / R for some m_total < R, so
+    # t <= ((p-1)^2 + (R-1)*p) / R — strictly below 2p iff p < R.
+    pre_sub = ((p - 1) ** 2 + (R - 1) * p) // R
+    trk.hit(
+        "cios/modulus-below-r", p, R, "carry",
+        "p < R = 2^(64w) is what keeps the CIOS output below 2p",
+    )
+    trk.hit(
+        "cios/pre-subtract", pre_sub, 2 * p, "carry",
+        "one conditional subtract canonicalizes only if the raw CIOS "
+        "output stays below 2p",
+    )
+    # t occupies at most w words plus one bit: 2p - 1 < 2^(64w + 1).
+    trk.hit(
+        "cios/extra-word", 2 * p - 1, 1 << (64 * w + 1), "carry",
+        "the pre-subtract value must fit the w-word scratch plus the "
+        "single overflow word t[w]",
+    )
+    # Butterfly add/sub operate on canonical inputs: the full sum
+    # 2p - 2 fits w words + 1 carry bit and one conditional subtract
+    # (or add of N after borrow) restores canonicality.
+    trk.hit(
+        "butterfly/addsub-range", 2 * p - 2, 2 * p, "carry",
+        "mod_add_one/mod_sub_one require canonical inputs so a single "
+        "conditional correction restores [0, p)",
+    )
+    # Montgomery twiddle rows, R^2 rows and power ladders are produced
+    # by mont_mul_one, whose conditional subtract makes every output
+    # canonical — the invariant that feeds the check above.
+    trk.hit(
+        "butterfly/twiddle-canonical", p - 1, p, "carry",
+        "twiddle tables / constant rows are mont_mul_one outputs and "
+        "therefore canonical in [0, p)",
+    )
+    return KernelCertificate(
+        family="native-mont",
+        modulus_name=name,
+        modulus_bits=bits,
+        params={
+            "words": w,
+            "max_words": max_words,
+            "radix_bits": 64,
+            "pre_subtract_bound": pre_sub,
+        },
+        checks=trk.checks(),
+    )
+
+
 # -- registry sweep ------------------------------------------------------------
 
 
 def certify_modulus(name: str, modulus: int) -> List[KernelCertificate]:
-    """All three family certificates for one modulus."""
+    """All four family certificates for one modulus."""
     return [
         certify_dfp(name, modulus),
         certify_numpy_limb(name, modulus),
         certify_soa_curve(name, modulus),
+        certify_native_mont(name, modulus),
     ]
 
 

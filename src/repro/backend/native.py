@@ -1,29 +1,55 @@
-"""Runtime-compiled Montgomery word kernels for the bucket hot path.
+"""Runtime-compiled Montgomery word kernels: the pipeline's native floor.
 
-The segmented bucket reduction (:mod:`repro.backend.numpy_curve`) spends
-nearly all of its time in full-width modular multiplications over lanes
-of field elements. Pure NumPy limb arithmetic tops out around 600 ns per
-381-bit multiply on one core — barely 2x the CPython big-int it
-replaces — because every product pays ~40 array passes of memory
-traffic. A single tight CIOS loop in C does the same multiply in ~100 ns
-(381-bit) / ~340 ns (753-bit), which is what actually buys the MSM
-ablation its headroom.
+The segmented bucket reduction (:mod:`repro.backend.numpy_curve`) and the
+POLY stage's NTT/pointwise passes spend nearly all of their time in
+full-width modular multiplications. Pure NumPy limb arithmetic tops out
+around 600 ns per 381-bit multiply on one core — barely 2x the CPython
+big-int it replaces — because every product pays ~40 array passes of
+memory traffic. A single tight CIOS loop in C does the same multiply in
+~100 ns (381-bit) / ~340 ns (753-bit), which is what buys the MSM
+ablation its headroom and, since this module grew the Stockham sweep,
+the full-proof native ablation too.
 
-So this module compiles one small C file (four batch kernels: CIOS
-Montgomery multiply, modular add, modular sub and a fused batch-affine
-combine, all over little-endian 64-bit word rows) with the system
-compiler at first use, caches the shared
-object keyed by a source hash, and loads it with :mod:`ctypes`. There is
-no build step, no new package dependency, and no platform assumption
-beyond "a C compiler exists": when none does (or ``REPRO_NATIVE=0`` is
-set) :func:`get_native_field` returns ``None`` and callers fall back to
-the scalar reference path, bit-identically.
+So this module compiles one small C file (batch kernels: CIOS Montgomery
+multiply, modular add/sub, a fused batch-affine combine, a whole-vector
+Stockham NTT sweep, a sequential power ladder and a broadcast constant
+multiply, all over little-endian 64-bit word rows) with the system
+compiler at first use, caches the shared object keyed by a source hash,
+and loads it with :mod:`ctypes`. There is no build step, no new package
+dependency, and no platform assumption beyond "a C compiler exists":
+when none does (or ``REPRO_NATIVE=0`` is set) :func:`get_native_field`
+returns ``None`` and callers fall back to the scalar reference path,
+bit-identically.
+
+Cache layout (``$REPRO_NATIVE_CACHE`` or a per-uid tmp dir)::
+
+    <base>/<source-sha256[:16]>/kernels.c      # published source (provenance)
+    <base>/<source-sha256[:16]>/kernels.so     # the compiled kernels
+    <base>/<source-sha256[:16]>/mod-<hash>.bin # per-modulus constant block
+    <base>/autotune/<curve>-<n>-<device>.json  # tuned profiles (autotune.py)
+
+Every artifact is published with a pid-unique temp file + ``os.replace``
+so concurrent first-compiles (the forked service) race cleanly: both
+processes may build, but readers only ever observe complete files. A
+cached ``.so`` that fails to ``dlopen`` (stale architecture, truncated
+write from a killed process) is deleted and rebuilt once before the
+module gives up — a corrupt cache degrades to one recompile, never to a
+silent scalar fallback. Loader outcomes (compile, cache hit, corrupt
+artifact, compile failure with the captured compiler stderr) are
+recorded in an in-process event log — :func:`kernel_events` /
+:func:`drain_kernel_events` — which the service forwards into job
+telemetry and CI asserts against for the warm-cache "zero recompiles"
+gate.
 
 Lanes are C-contiguous ``(n, w)`` uint64 arrays, one row per field
-element, little-endian words, **in the Montgomery domain** (x·R mod p,
-R = 2^(64w)). Montgomery residues are canonical — kept in [0, p) by a
-final conditional subtract — so equality and zero tests are plain NumPy
-array compares, with no lazy-reduction bookkeeping.
+element, little-endian words. Curve kernels keep rows **in the
+Montgomery domain** (x·R mod p, R = 2^(64w)); the NTT/pointwise entry
+points instead take *raw* canonical rows and fold the R factors into
+their constants (Montgomery-encoded twiddles, R^2 rows, Montgomery power
+ladders), so crossing into and out of the native field path costs no
+extra conversion multiplies. Residues are canonical — kept in [0, p) by
+a final conditional subtract — so equality and zero tests are plain
+NumPy array compares, with no lazy-reduction bookkeeping.
 """
 
 from __future__ import annotations
@@ -34,7 +60,9 @@ import os
 import shutil
 import subprocess
 import tempfile
-from typing import Dict, List, Optional, Sequence
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # keep importable without numpy (mirrors numpy_limb)
     import numpy as _np
@@ -42,7 +70,8 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
 __all__ = ["native_available", "get_native_field", "NativeField",
-           "NATIVE_ENV_VAR"]
+           "NATIVE_ENV_VAR", "reset_native", "kernel_events",
+           "drain_kernel_events", "cache_base_dir"]
 
 #: set to ``0``/``off``/``false`` to disable the compiled kernels
 NATIVE_ENV_VAR = "REPRO_NATIVE"
@@ -165,6 +194,16 @@ void mont_mul_batch(uint64_t *out, const uint64_t *a, const uint64_t *b,
         mont_mul_one(out + k * w, a + k * w, b + k * w, N, n0inv, w);
 }
 
+/* out[k] = a[k] * b (one shared right operand): the broadcast form
+   used by encode/decode/vscale without materializing a tiled array. */
+void mont_mul_const_batch(uint64_t *out, const uint64_t *a,
+                          const uint64_t *b, size_t n, const uint64_t *N,
+                          uint64_t n0inv, int w)
+{
+    for (size_t k = 0; k < n; k++)
+        mont_mul_one(out + k * w, a + k * w, b, N, n0inv, w);
+}
+
 void mod_sub_batch(uint64_t *out, const uint64_t *a, const uint64_t *b,
                    size_t n, const uint64_t *N, int w)
 {
@@ -177,6 +216,58 @@ void mod_add_batch(uint64_t *out, const uint64_t *a, const uint64_t *b,
 {
     for (size_t k = 0; k < n; k++)
         mod_add_one(out + k * w, a + k * w, b + k * w, N, w);
+}
+
+/* Sequential Montgomery power ladder: out[0] = one, out[k] =
+   out[k-1] * g. With one = R and g = x*R this yields x^k * R — the
+   Montgomery coset ladder whose product against raw rows lands back in
+   the raw domain. out must not alias g. */
+void mont_powers(uint64_t *out, const uint64_t *one, const uint64_t *g,
+                 size_t n, const uint64_t *N, uint64_t n0inv, int w)
+{
+    if (!n) return;
+    for (int j = 0; j < w; j++) out[j] = one[j];
+    for (size_t k = 1; k < n; k++)
+        mont_mul_one(out + k * w, out + (k - 1) * w, g, N, n0inv, w);
+}
+
+/* Whole-vector Stockham radix-2 NTT sweep: natural order in and out,
+   no bit-reversal, mirroring the numpy limb engine's pass structure
+   (and therefore the scalar DIT reference, bit for bit).
+
+   data holds n raw canonical rows; tw holds the shared twiddle table
+   in Montgomery form laid out exactly like repro.ntt.twiddle
+   (tw[2^i + b] = omega^(b * n / 2^(i+1)) * R), so pass i block b reads
+   row (blocks + b). The butterfly multiply is a plain CIOS product of
+   a raw row with a Montgomery twiddle — the R factors cancel, keeping
+   every intermediate in the raw domain with zero conversion muls.
+   scratch is an (n, w) ping-pong buffer; the result is always copied
+   back into data. */
+void ntt_stockham(uint64_t *data, uint64_t *scratch, const uint64_t *tw,
+                  size_t n, int log_n, const uint64_t *N, uint64_t n0inv,
+                  int w)
+{
+    uint64_t t[32];
+    uint64_t *in = data, *out = scratch;
+    for (int i = 0; i < log_n; i++) {
+        size_t blocks = (size_t)1 << i;
+        size_t m = n >> i, m2 = m >> 1;
+        for (size_t b = 0; b < blocks; b++) {
+            const uint64_t *u = in + b * m * w;
+            const uint64_t *v = u + m2 * w;
+            const uint64_t *wb = tw + (blocks + b) * w;
+            uint64_t *lo = out + b * m2 * w;
+            uint64_t *hi = out + (blocks + b) * m2 * w;
+            for (size_t j = 0; j < m2; j++) {
+                mont_mul_one(t, v + j * w, wb, N, n0inv, w);
+                mod_add_one(lo + j * w, u + j * w, t, N, w);
+                mod_sub_one(hi + j * w, u + j * w, t, N, w);
+            }
+        }
+        uint64_t *swap = in; in = out; out = swap;
+    }
+    if (in != data)
+        for (size_t j = 0; j < n * (size_t)w; j++) data[j] = in[j];
 }
 
 /* Sequential Montgomery prefix products: pref[k] = a[0]*...*a[k].
@@ -242,7 +333,41 @@ void affine_combine_batch(uint64_t *x3, uint64_t *y3,
 # module-level load state: None = not attempted, False = unavailable
 _LIB = None
 _LOAD_ATTEMPTED = False
+#: env-disable state observed when the load decision was made; a flip
+#: (per-worker ``env=`` overrides after a fork) invalidates the decision
+_LOADED_DISABLED: Optional[bool] = None
 _FIELDS: Dict[int, "NativeField"] = {}
+
+#: in-process loader event log (compile / cache-hit / corrupt / failure)
+_EVENTS: List[dict] = []
+_WARNED = False
+
+#: magic + layout version of the per-modulus constant block files
+_CONST_MAGIC = b"RNCB1\0"
+
+
+def _record_event(kind: str, detail: str, **fields) -> None:
+    _EVENTS.append({"kind": kind, "detail": detail, **fields})
+
+
+def kernel_events() -> List[dict]:
+    """Loader events recorded so far in this process (copies)."""
+    return [dict(e) for e in _EVENTS]
+
+
+def drain_kernel_events() -> List[dict]:
+    """Pop and return all recorded loader events (the service forwards
+    them into job telemetry exactly once)."""
+    out = [dict(e) for e in _EVENTS]
+    _EVENTS.clear()
+    return out
+
+
+def _warn_once(message: str) -> None:
+    global _WARNED
+    if not _WARNED:
+        _WARNED = True
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def _env_disabled() -> bool:
@@ -251,53 +376,106 @@ def _env_disabled() -> bool:
     )
 
 
-def _cache_dir(digest: str) -> str:
+def cache_base_dir() -> str:
+    """Root of the on-disk kernel cache (``$REPRO_NATIVE_CACHE`` or a
+    per-uid temp dir). Autotune profiles live under it too."""
     base = os.environ.get("REPRO_NATIVE_CACHE")
     if not base:
         base = os.path.join(tempfile.gettempdir(),
                             f"repro-native-{os.getuid()}")
-    return os.path.join(base, digest)
+    return base
 
 
-def _compile_and_load():
-    """Compile the kernel source (once per source hash, cached on disk)
-    and return the loaded library, or None when no compiler works."""
-    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    cdir = _cache_dir(digest)
-    sopath = os.path.join(cdir, "kernels.so")
-    if not os.path.exists(sopath):
-        compiler = next(
-            (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
-        )
-        if compiler is None:
-            return None
-        os.makedirs(cdir, exist_ok=True)
-        cpath = os.path.join(cdir, "kernels.c")
-        with open(cpath, "w") as fh:
-            fh.write(_C_SOURCE)
-        tmp_so = os.path.join(cdir, f".kernels-{os.getpid()}.so")
-        try:
-            subprocess.run(
-                [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_so, cpath],
-                check=True, capture_output=True, timeout=120,
-            )
-            os.replace(tmp_so, sopath)  # atomic vs concurrent builders
-        except (subprocess.SubprocessError, OSError):
-            if os.path.exists(tmp_so):  # pragma: no cover - cleanup path
-                os.unlink(tmp_so)
-            return None
+def _source_digest() -> str:
+    return hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+
+
+def _cache_dir(digest: str) -> str:
+    return os.path.join(cache_base_dir(), digest)
+
+
+def _compile(cdir: str, sopath: str) -> bool:
+    """Build the kernels into ``sopath``. The source and the shared
+    object are both staged as pid-unique temp files and published with
+    ``os.replace`` (atomic), so a concurrent builder or a killed
+    process can never leave a partial artifact where a reader looks.
+    Failures are recorded (with the captured compiler stderr), warned
+    about once, and leave no temp litter behind."""
+    compiler = next(
+        (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
+    )
+    if compiler is None:
+        _record_event("native-kernel-compile-failed",
+                      "no C compiler (cc/gcc/clang) on PATH",
+                      compiler="", stderr="")
+        _warn_once("repro native kernels disabled: no C compiler "
+                   "(cc/gcc/clang) on PATH; falling back to the scalar "
+                   "path")
+        return False
+    os.makedirs(cdir, exist_ok=True)
+    cpath = os.path.join(cdir, "kernels.c")
+    tmp_c = os.path.join(cdir, f".kernels-{os.getpid()}.c")
+    tmp_so = os.path.join(cdir, f".kernels-{os.getpid()}.so")
+    # Loader-side telemetry, not kernel arithmetic: the compile runs
+    # once per cache miss and its duration feeds the compile event.
+    started = time.perf_counter()  # repro: allow[R004]
     try:
-        lib = ctypes.CDLL(sopath)
-    except OSError:  # pragma: no cover - stale/corrupt cache
-        return None
+        with open(tmp_c, "w") as fh:
+            fh.write(_C_SOURCE)
+        proc = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_so, tmp_c],
+            capture_output=True, timeout=120,
+        )
+        if proc.returncode != 0:
+            stderr = proc.stderr.decode("utf-8", "replace").strip()
+            _record_event("native-kernel-compile-failed",
+                          f"{compiler} exited {proc.returncode}",
+                          compiler=compiler, stderr=stderr[-4000:])
+            _warn_once(
+                f"repro native kernel compile failed ({compiler} exited "
+                f"{proc.returncode}); falling back to the scalar path. "
+                f"Compiler stderr: {stderr[-500:]}"
+            )
+            return False
+        # Publish source first (provenance for the cached .so), then
+        # the object; both atomic, so racers only see complete files.
+        os.replace(tmp_c, cpath)
+        os.replace(tmp_so, sopath)
+    except (subprocess.SubprocessError, OSError) as exc:
+        _record_event("native-kernel-compile-failed", str(exc),
+                      compiler=compiler, stderr="")
+        _warn_once(f"repro native kernel compile failed ({exc}); "
+                   "falling back to the scalar path")
+        return False
+    finally:
+        for leftover in (tmp_c, tmp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    _record_event("native-kernel-compile",
+                  f"compiled kernels with {compiler}",
+                  compiler=compiler, path=sopath,
+                  seconds=round(time.perf_counter() - started,  # repro: allow[R004]
+                                3))
+    return True
+
+
+def _bind(lib) -> None:
     ptr, size, u64, i32 = (ctypes.c_void_p, ctypes.c_size_t,
                            ctypes.c_uint64, ctypes.c_int)
     lib.mont_mul_batch.argtypes = [ptr, ptr, ptr, size, ptr, u64, i32]
     lib.mont_mul_batch.restype = None
+    lib.mont_mul_const_batch.argtypes = [ptr, ptr, ptr, size, ptr, u64, i32]
+    lib.mont_mul_const_batch.restype = None
     lib.mod_sub_batch.argtypes = [ptr, ptr, ptr, size, ptr, i32]
     lib.mod_sub_batch.restype = None
     lib.mod_add_batch.argtypes = [ptr, ptr, ptr, size, ptr, i32]
     lib.mod_add_batch.restype = None
+    lib.mont_powers.argtypes = [ptr, ptr, ptr, size, ptr, u64, i32]
+    lib.mont_powers.restype = None
+    lib.ntt_stockham.argtypes = [ptr, ptr, ptr, size, i32, ptr, u64, i32]
+    lib.ntt_stockham.restype = None
     lib.affine_combine_batch.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr,
                                          ptr, size, ptr, u64, i32]
     lib.affine_combine_batch.restype = None
@@ -306,14 +484,79 @@ def _compile_and_load():
     lib.mont_batch_inv_back.argtypes = [ptr, ptr, ptr, ptr, size, ptr,
                                         u64, i32]
     lib.mont_batch_inv_back.restype = None
-    return lib
+
+
+def _compile_and_load():
+    """Compile the kernel source (once per source hash, cached on disk)
+    and return the loaded library, or None when no compiler works.
+
+    Self-healing: a cached ``.so`` that fails to load (corrupt or stale
+    artifact in a persistent ``REPRO_NATIVE_CACHE``) is deleted and
+    rebuilt exactly once; only a failure of the *fresh* build gives up
+    on the native path."""
+    cdir = _cache_dir(_source_digest())
+    sopath = os.path.join(cdir, "kernels.so")
+    for _attempt in range(2):
+        compiled = False
+        if not os.path.exists(sopath):
+            if not _compile(cdir, sopath):
+                return None
+            compiled = True
+        try:
+            lib = ctypes.CDLL(sopath)
+        except OSError as exc:
+            _record_event("native-kernel-cache-corrupt",
+                          f"cached kernels.so failed to load: {exc}",
+                          path=sopath, rebuilt=not compiled)
+            try:
+                os.unlink(sopath)
+            except OSError:
+                pass
+            if compiled:
+                # Our own fresh build does not load: retrying cannot help.
+                _warn_once("repro native kernels disabled: freshly "
+                           f"compiled kernels.so failed to load ({exc})")
+                return None
+            continue
+        if not compiled:
+            _record_event("native-kernel-cache-hit",
+                          "loaded kernels.so from the warm disk cache",
+                          path=sopath)
+        _bind(lib)
+        return lib
+    return None  # pragma: no cover - both attempts saw corrupt artifacts
+
+
+def reset_native() -> None:
+    """Forget the in-process load decision and every cached
+    :class:`NativeField` (their Montgomery twiddle/ladder caches ride
+    along). Called after a service fork so a worker's own environment —
+    e.g. a per-worker ``REPRO_NATIVE=0`` override — is honoured from
+    scratch; the next :func:`get_native_field` re-probes. The event log
+    survives so telemetry still sees what the loader did."""
+    global _LIB, _LOAD_ATTEMPTED, _LOADED_DISABLED
+    _LIB = None
+    _LOAD_ATTEMPTED = False
+    _LOADED_DISABLED = None
+    _FIELDS.clear()
 
 
 def _get_lib():
-    global _LIB, _LOAD_ATTEMPTED
+    global _LIB, _LOAD_ATTEMPTED, _LOADED_DISABLED
+    disabled = _env_disabled()
+    if _LOAD_ATTEMPTED and disabled != _LOADED_DISABLED:
+        # The env toggle flipped since the load decision (per-worker
+        # override applied post-fork, or a test/bench toggling modes):
+        # the memoized decision is stale, re-probe under the new env.
+        reset_native()
     if not _LOAD_ATTEMPTED:
         _LOAD_ATTEMPTED = True
-        if _np is not None and not _env_disabled():
+        _LOADED_DISABLED = disabled
+        if disabled:
+            _record_event("native-kernel-disabled",
+                          f"{NATIVE_ENV_VAR} disables the compiled "
+                          "kernels; scalar fallback")
+        elif _np is not None:
             _LIB = _compile_and_load()
     return _LIB
 
@@ -326,12 +569,12 @@ def native_available() -> bool:
 def get_native_field(modulus: int) -> Optional["NativeField"]:
     """A :class:`NativeField` for ``modulus``, or None when the native
     kernels are unavailable or the modulus is too wide."""
-    field = _FIELDS.get(modulus)
-    if field is not None:
-        return field
     lib = _get_lib()
     if lib is None:
         return None
+    field = _FIELDS.get(modulus)
+    if field is not None:
+        return field
     w = (modulus.bit_length() + 63) // 64
     if w > MAX_WORDS - 2:  # C scratch is t[MAX_WORDS + 2]
         return None
@@ -339,28 +582,113 @@ def get_native_field(modulus: int) -> Optional["NativeField"]:
     return field
 
 
+# -- per-modulus constant blocks ------------------------------------------------
+
+
+def _const_block_path(modulus: int) -> str:
+    mh = hashlib.sha256(
+        modulus.to_bytes((modulus.bit_length() + 7) // 8, "little")
+    ).hexdigest()[:16]
+    return os.path.join(_cache_dir(_source_digest()), f"mod-{mh}.bin")
+
+
+def _load_const_block(path: str, modulus: int,
+                      w: int) -> Optional[Dict[str, int]]:
+    """Read a published constant block; any mismatch (magic, checksum,
+    width, modulus) returns None and the caller recomputes — a corrupt
+    block costs a re-derivation, never wrong arithmetic."""
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return None
+    if len(blob) <= len(_CONST_MAGIC) + 32 or \
+            not blob.startswith(_CONST_MAGIC):
+        return None
+    body, check = blob[:-32], blob[-32:]
+    if hashlib.sha256(body).digest() != check:
+        return None
+    stride = 8 * w
+    off = len(_CONST_MAGIC)
+    if len(body) != off + 16 + 4 * stride:
+        return None
+    if int.from_bytes(body[off:off + 8], "little") != w:
+        return None
+    off += 8
+    n0inv = int.from_bytes(body[off:off + 8], "little")
+    off += 8
+    vals = []
+    for _ in range(4):
+        vals.append(int.from_bytes(body[off:off + stride], "little"))
+        off += stride
+    if vals[0] != modulus:
+        return None
+    return {"n0inv": n0inv, "r": vals[1], "r2": vals[2], "rinv": vals[3]}
+
+
+def _publish_const_block(path: str, modulus: int, w: int,
+                         consts: Dict[str, int]) -> None:
+    stride = 8 * w
+    body = _CONST_MAGIC + w.to_bytes(8, "little")
+    body += consts["n0inv"].to_bytes(8, "little")
+    for value in (modulus, consts["r"], consts["r2"], consts["rinv"]):
+        body += value.to_bytes(stride, "little")
+    blob = body + hashlib.sha256(body).digest()
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)  # atomic vs concurrent publishers
+    except OSError:  # read-only or vanished cache dir: stay in-memory
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
 class NativeField:
     """Batched Montgomery-domain arithmetic over one prime modulus.
 
-    All array arguments/results are C-contiguous ``(n, w)`` uint64 rows
-    of canonical Montgomery residues; ``encode``/``decode`` cross the
-    int <-> Montgomery boundary.
+    Curve-path arrays (:meth:`mul`/:meth:`sub`/:meth:`add`/
+    :meth:`affine_combine`/:meth:`batch_inverse`) are C-contiguous
+    ``(n, w)`` uint64 rows of canonical Montgomery residues;
+    ``encode``/``decode`` cross the int <-> Montgomery boundary. The
+    NTT/pointwise entry points (:meth:`ntt_ints`, :meth:`vmul_ints`,
+    :meth:`vmul_powers_ints`, :meth:`vscale_ints`) take and return
+    plain canonical ints, keeping the rows in the raw domain with the
+    R factors folded into cached Montgomery constants.
     """
 
     def __init__(self, lib, modulus: int, w: int):
         self.lib = lib
         self.p = modulus
         self.w = w
-        self.r = (1 << (64 * w)) % modulus
-        self._r2 = self.r * self.r % modulus
-        self._rinv = pow(self.r, -1, modulus)
-        self.n0inv = (-pow(modulus, -1, 1 << 64)) % (1 << 64)
+        consts = _load_const_block(_const_block_path(modulus), modulus, w)
+        if consts is None:
+            r = (1 << (64 * w)) % modulus
+            consts = {
+                "r": r,
+                "r2": r * r % modulus,
+                "rinv": pow(r, -1, modulus),
+                "n0inv": (-pow(modulus, -1, 1 << 64)) % (1 << 64),
+            }
+            _publish_const_block(_const_block_path(modulus), modulus, w,
+                                 consts)
+        self.r = consts["r"]
+        self._r2 = consts["r2"]
+        self._rinv = consts["rinv"]
+        self.n0inv = consts["n0inv"]
         self._n_words = self._row(modulus)
         self._r2_words = self._row(self._r2)
         self._one_words = self._row(1)
         #: Montgomery representation of 1 (== R mod p), the tree's
         #: padding value for dead inversion lanes
         self.mont_one = self._row(self.r)
+        #: Montgomery twiddle tables keyed (n, omega); cleared with the
+        #: instance by :func:`reset_native`
+        self._twiddles: Dict[Tuple[int, int], "_np.ndarray"] = {}
+        #: Montgomery power ladders keyed by generator g
+        self._ladders: Dict[int, "_np.ndarray"] = {}
 
     # -- conversions -----------------------------------------------------------
 
@@ -385,11 +713,11 @@ class NativeField:
     def encode(self, vals: Sequence[int]) -> "_np.ndarray":
         """Canonical ints -> Montgomery rows (one batched mul by R^2)."""
         raw = self.words_from_ints(vals)
-        return self.mul(raw, self._tile(self._r2_words, len(vals)))
+        return self.mul_const(raw, self._r2_words, out=raw)
 
     def decode(self, arr: "_np.ndarray") -> List[int]:
         """Montgomery rows -> canonical ints (one batched mul by 1)."""
-        plain = self.mul(arr, self._tile(self._one_words, arr.shape[0]))
+        plain = self.mul_const(self._prep(arr), self._one_words)
         return self.ints_from_words(plain)
 
     def decode_one(self, row: "_np.ndarray") -> int:
@@ -423,6 +751,18 @@ class NativeField:
                                 b.ctypes.data, a.shape[0],
                                 self._n_words.ctypes.data, self.n0inv,
                                 self.w)
+        return out
+
+    def mul_const(self, a: "_np.ndarray", row: "_np.ndarray",
+                  out: Optional["_np.ndarray"] = None) -> "_np.ndarray":
+        """Every row of ``a`` times one shared ``(w,)`` row."""
+        a = self._prep(a)
+        if out is None:
+            out = _np.empty_like(a)
+        self.lib.mont_mul_const_batch(out.ctypes.data, a.ctypes.data,
+                                      row.ctypes.data, a.shape[0],
+                                      self._n_words.ctypes.data,
+                                      self.n0inv, self.w)
         return out
 
     def sub(self, a: "_np.ndarray", b: "_np.ndarray",
@@ -479,6 +819,82 @@ class NativeField:
                                      self._n_words.ctypes.data,
                                      self.n0inv, self.w)
         return out
+
+    # -- NTT / pointwise over raw rows ------------------------------------------
+
+    def _mont_twiddle_rows(self, field, n: int,
+                           omega: int) -> "_np.ndarray":
+        """The shared :class:`~repro.ntt.twiddle.TwiddleTable` for
+        (n, omega), encoded once into Montgomery rows and cached on the
+        instance — pass i block b reads row ``2^i + b``, exactly the
+        table's layout."""
+        key = (n, omega)
+        rows = self._twiddles.get(key)
+        if rows is None:
+            from repro.ntt.twiddle import get_twiddle_table
+
+            table = get_twiddle_table(field, n, omega)
+            rows = self._twiddles[key] = self.encode(table.values)
+        return rows
+
+    def ntt_ints(self, field, vals: Sequence[int],
+                 omega: int) -> List[int]:
+        """Whole forward Stockham sweep over raw canonical rows;
+        natural order in and out, bit-identical to the scalar DIT
+        reference. ``field`` supplies the memoized twiddle table."""
+        n = len(vals)
+        data = self.words_from_ints(vals)
+        scratch = _np.empty_like(data)
+        tw = self._mont_twiddle_rows(field, n, omega)
+        self.lib.ntt_stockham(data.ctypes.data, scratch.ctypes.data,
+                              tw.ctypes.data, n, n.bit_length() - 1,
+                              self._n_words.ctypes.data, self.n0inv,
+                              self.w)
+        return self.ints_from_words(data)
+
+    def vmul_ints(self, xs: Sequence[int],
+                  ys: Sequence[int]) -> List[int]:
+        """Pointwise x*y mod p over raw ints: one batched CIOS product
+        (x*y*R^-1) plus one broadcast mul by R^2 folds the result back
+        to the raw domain — two muls per element, no encode/decode."""
+        a = self.words_from_ints(xs)
+        b = self.words_from_ints(ys)
+        self.mul(a, b, out=a)
+        self.mul_const(a, self._r2_words, out=a)
+        return self.ints_from_words(a)
+
+    def _mont_ladder(self, g: int, n: int) -> "_np.ndarray":
+        """Cached Montgomery power ladder rows[i] = g^i * R, grown
+        geometrically; one sequential C sweep builds it."""
+        g %= self.p
+        arr = self._ladders.get(g)
+        if arr is None or arr.shape[0] < n:
+            size = n if arr is None else max(n, 2 * arr.shape[0])
+            out = _np.empty((size, self.w), dtype="<u8")
+            g_row = self.encode_const(g)
+            self.lib.mont_powers(out.ctypes.data,
+                                 self.mont_one.ctypes.data,
+                                 g_row.ctypes.data, size,
+                                 self._n_words.ctypes.data, self.n0inv,
+                                 self.w)
+            arr = self._ladders[g] = out
+        return arr[:n]
+
+    def vmul_powers_ints(self, xs: Sequence[int], g: int) -> List[int]:
+        """Coset scaling x[i] * g^i mod p: raw rows times the cached
+        Montgomery ladder — the R factors cancel, one mul per element."""
+        n = len(xs)
+        a = self.words_from_ints(xs)
+        ladder = self._mont_ladder(g, n)
+        self.mul(a, ladder, out=a)
+        return self.ints_from_words(a)
+
+    def vscale_ints(self, xs: Sequence[int], k: int) -> List[int]:
+        """x[i] * k mod p: one broadcast mul by the Montgomery row of
+        k (raw row times k*R lands back in the raw domain)."""
+        a = self.words_from_ints(xs)
+        self.mul_const(a, self.encode_const(k), out=a)
+        return self.ints_from_words(a)
 
     # -- predicates (free: Montgomery residues are canonical) -------------------
 

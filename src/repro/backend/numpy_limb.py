@@ -38,13 +38,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.base import ComputeBackend
+from repro.backend.native import get_native_field
 
 try:  # numpy ships with the repo's environment, but stay importable without
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
-__all__ = ["NumpyLimbBackend", "numpy_available"]
+__all__ = ["NumpyLimbBackend", "numpy_available", "configure_clean_cadence"]
 
 #: limb width in bits (see module docstring for why not the paper's 52)
 LIMB_BITS = 22
@@ -121,6 +122,34 @@ def _geometry(modulus: int) -> _Geometry:
     if geom is None:
         geom = _GEOMS[modulus] = _Geometry(modulus)
     return geom
+
+
+def configure_clean_cadence(modulus: int,
+                            clean_every: Optional[int]) -> int:
+    """Set the carry-clean cadence of one modulus' limb geometry — the
+    autotuner's entry point. Every value is gated by the certifier's
+    worst-case sweep bound (the same single source of truth the
+    geometry constructor asserts against); ``None`` restores the
+    default formula. Returns the cadence now in force. Any certified
+    cadence produces bit-identical sweep results — the normalize
+    rounds are exact — so this knob trades passes-between-cleans for
+    throughput only."""
+    geom = _geometry(modulus)
+    if clean_every is None:
+        clean_every = max(2, (1 << 53) // (geom.lg << (2 * LIMB_BITS)))
+    from repro.analysis.bounds import certified_safe_clean_every
+
+    safe = certified_safe_clean_every(LIMB_BITS, geom.lg)
+    if not 2 <= clean_every <= safe:
+        from repro.errors import FieldError
+
+        raise FieldError(
+            f"clean_every={clean_every} is outside the certified safe "
+            f"range [2, {safe}] for a {geom.p.bit_length()}-bit modulus "
+            f"(lg={geom.lg})"
+        )
+    geom.clean_every = clean_every
+    return clean_every
 
 
 # -- representation conversion -------------------------------------------------
@@ -328,10 +357,25 @@ class NumpyLimbBackend(ComputeBackend):
             counter.count("fr_add", n * log_n)
         if n < 2:
             return a
+        nf = get_native_field(field.modulus)
+        if nf is not None:
+            # Native Stockham sweep: same pass structure and twiddle
+            # table as the limb-matrix path, canonical ints out — the
+            # counts above already cover it.
+            return nf.ntt_ints(field, a, omega)
         return _stockham_ntt(field, a, omega)
 
-    # intt is inherited: forward sweep with the cached inverse root, then
-    # the same scalar 1/N scale (and fr_mul count) as the reference.
+    def intt(self, field, values: Sequence[int], counter=None) -> List[int]:
+        """Inverse sweep; the 1/N scale runs through :meth:`vscale`
+        (native broadcast mul when available) with the reference's
+        fr_mul count."""
+        a = self.ntt(field, values,
+                     omega=field.inv_root_of_unity(len(values)),
+                     counter=counter)
+        n = len(a)
+        if counter is not None:
+            counter.count("fr_mul", n)
+        return self.vscale(field, a, field.inv(n))
 
     # -- batch field arithmetic -------------------------------------------------
 
@@ -346,6 +390,11 @@ class NumpyLimbBackend(ComputeBackend):
             return super().vmul_powers(field, xs, g)
         p = field.modulus
         g %= p
+        nf = get_native_field(p)
+        if nf is not None:
+            # Raw rows times the cached Montgomery ladder: one CIOS mul
+            # per element, ladder built by one sequential C sweep.
+            return nf.vmul_powers_ints([x % p for x in xs], g)
         key = (p, g)
         pows = _POWER_LADDERS.get(key)
         if pows is None:
@@ -360,8 +409,14 @@ class NumpyLimbBackend(ComputeBackend):
         egress."""
         if not xs:
             return []
+        p = field.modulus
+        nf = get_native_field(p)
+        if nf is not None:
+            # Two batched CIOS muls (x*y*R^-1, then fold by R^2): no
+            # limb-matrix traffic, no per-element Python egress.
+            return nf.vmul_ints([x % p for x in xs],
+                                [y % p for y in ys])
         geom = _geometry(field.modulus)
-        p = geom.p
         a = _ints_to_limbs(geom, [x % p for x in xs])
         b = _ints_to_limbs(geom, [y % p for y in ys])
         lg = geom.lg
@@ -372,6 +427,18 @@ class NumpyLimbBackend(ComputeBackend):
             # diagonal sums at most LG of them: exact in float64.
             prod[:, j:j + lg] += a * b[:, j:j + 1]
         return self._wide_egress(geom, prod, nl)
+
+    def vscale(self, field, xs: Sequence[int], k: int) -> List[int]:
+        """Whole-vector scale by one constant: a broadcast native mul
+        against the Montgomery row of k when the kernels are loaded
+        (the inverse NTT's 1/N scale and the quotient's z_inv scale),
+        scalar loop otherwise."""
+        if len(xs) >= 2:
+            nf = get_native_field(field.modulus)
+            if nf is not None:
+                p = field.modulus
+                return nf.vscale_ints([x % p for x in xs], k)
+        return super().vscale(field, xs, k)
 
     # -- scalar front-end -------------------------------------------------------
 

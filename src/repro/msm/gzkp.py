@@ -74,12 +74,16 @@ class GzkpMsm:
                  fq_mul_factor: float = 1.0,
                  load_balanced: bool = True,
                  use_dfp_library: bool = True,
-                 backend=None):
+                 backend=None, tuner=None):
         self.group = group
         self.scalar_bits = scalar_bits
         self.device = device
         self._window_override = window
         self._interval_override = interval
+        #: optional :class:`repro.backend.autotune.KernelAutotuner`;
+        #: when set (and no explicit overrides) configure() delegates
+        #: the (k, M) choice to its joint search / persisted profiles
+        self.tuner = tuner
         self.fq_mul_factor = fq_mul_factor
         #: disable for the "GZKP-no-LB" breakdown variant (Figure 10)
         self.load_balanced = load_balanced
@@ -113,6 +117,8 @@ class GzkpMsm:
         if self._window_override is not None:
             k = self._window_override
             cfg = self._make_config(n, k, self._interval_for(n, k))
+        elif self.tuner is not None:
+            cfg = self.tuner.msm_config(self, n)
         else:
             best_cfg = None
             best_time = float("inf")

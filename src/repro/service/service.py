@@ -192,6 +192,13 @@ class ProvingService:
     * ``soundness_bits`` — width of the batch's random coefficients; an
       invalid window survives with probability below
       ``2**-soundness_bits``.
+    * ``autotune`` — hand each prover's MSM (window, interval) choice
+      and the numpy backend's carry-clean cadence to the
+      :class:`~repro.backend.autotune.KernelAutotuner` instead of the
+      static ``msm_window``/``msm_interval`` defaults.  Tuned profiles
+      persist in the native kernel cache directory, so forked workers
+      read them instead of re-searching; tuning never changes proof
+      bytes.
     * ``worker_cache`` — bound on each worker's resident prover
       handles (the MSM checkpoint tables; GZKP Figure 9's
       preprocessing-memory budget).  ``None`` means unbounded.
@@ -208,6 +215,7 @@ class ProvingService:
     def __init__(self, workers: int = 2, parallel_msm: bool = True,
                  timeout: Optional[float] = None, retries: int = 1,
                  msm_window: int = 6, msm_interval: int = 2,
+                 autotune: bool = False,
                  env: Optional[dict] = None,
                  warm: Optional[Sequence] = None,
                  shards: Optional[int] = None,
@@ -247,6 +255,7 @@ class ProvingService:
         self.retries = retries
         self.msm_window = msm_window
         self.msm_interval = msm_interval
+        self.autotune = autotune
         self.env = dict(env) if env else None
         self.warm = self._validate_warm(warm)
         self.shards = shards
@@ -286,6 +295,7 @@ class ProvingService:
                 msm_window=msm_window, msm_interval=msm_interval,
                 verify_inline=(verify not in ("off", "batched")),
                 cache_entries=worker_cache,
+                autotune=autotune,
             )
             self._inline_state.setups = self._setups
             for key, handle in self._build_warm_handles().items():
@@ -334,7 +344,8 @@ class ProvingService:
                         else _shared_warm_executor())
             self._warm_handles[key] = ProverHandle(
                 bundle, backend, self.parallel_msm,
-                self.msm_window, self.msm_interval, executor)
+                self.msm_window, self.msm_interval, executor,
+                autotune=self.autotune)
         return self._warm_handles
 
     def _start_pipeline(self) -> None:
@@ -348,6 +359,7 @@ class ProvingService:
             "parallel_msm": self.parallel_msm,
             "msm_window": self.msm_window,
             "msm_interval": self.msm_interval,
+            "autotune": self.autotune,
             "verify_inline": self.verify == "inline",
             "cache_entries": self.worker_cache,
             "env": self.env,

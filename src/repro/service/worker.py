@@ -53,18 +53,19 @@ def reset_backend_state() -> None:
     import repro.backend.native as native_mod
 
     backend_mod._INSTANCES.clear()
-    native_mod._LIB = None
-    native_mod._LOAD_ATTEMPTED = False
-    native_mod._FIELDS.clear()
+    native_mod.reset_native()
 
 
 def resolve_backend(requested: Optional[str],
                     telemetry: Telemetry) -> str:
     """Pick the compute backend for a job, degrading gracefully: an
     unavailable backend falls back to the scalar python path, missing
-    native kernels under numpy are noted — both as telemetry events."""
+    native kernels under numpy are noted — both as telemetry events.
+    Any native loader events queued since the last job (compiles,
+    cache hits, self-heals, compile failures) are forwarded into the
+    job's telemetry so operators see them without scraping stderr."""
     from repro.backend import available_backends
-    from repro.backend.native import native_available
+    from repro.backend.native import drain_kernel_events, native_available
 
     name = (requested
             or os.environ.get("REPRO_BACKEND", "python").strip()
@@ -88,6 +89,9 @@ def resolve_backend(requested: Optional[str],
             "native C kernels unavailable: pure-python field arithmetic",
             backend=name,
         )
+    for event in drain_kernel_events():
+        telemetry.record_event(event.pop("kind"), event.pop("detail"),
+                               **event)
     return name
 
 
@@ -174,17 +178,23 @@ class ProverHandle:
 
     def __init__(self, bundle: SetupBundle, backend: str,
                  parallel_msm: bool, msm_window: int, msm_interval: int,
-                 executor, telemetry: Optional[Telemetry] = None):
+                 executor, telemetry: Optional[Telemetry] = None,
+                 autotune: bool = False):
         from repro.snark.gzkp_prover import make_gzkp_prover
 
         self.bundle = bundle
         self.backend = backend
+        self.autotune = autotune
         self.prover = make_gzkp_prover(
             bundle.r1cs, bundle.keys.proving_key, bundle.curve,
-            msm_window=msm_window, msm_interval=msm_interval,
+            # With autotuning on, the cost-model search owns (k, M);
+            # the service's static defaults would otherwise win.
+            msm_window=None if autotune else msm_window,
+            msm_interval=None if autotune else msm_interval,
             backend=backend,
             msm_executor=executor if parallel_msm else None,
             telemetry=telemetry,
+            autotune=autotune,
         )
 
     # duck-typed for MsmContextCache's byte budget
@@ -219,11 +229,13 @@ class WorkerState:
                  verify_inline: bool = True,
                  cache_entries: Optional[int] = None,
                  setups: Optional[Dict[Tuple[str, str], SetupBundle]] = None,
-                 executor: Optional[ForkLocalExecutor] = None):
+                 executor: Optional[ForkLocalExecutor] = None,
+                 autotune: bool = False):
         self.shard = shard
         self.parallel_msm = parallel_msm
         self.msm_window = msm_window
         self.msm_interval = msm_interval
+        self.autotune = autotune
         self.verify_inline = verify_inline
         # Setup bundles are small and deterministic: shared when
         # inherited from the parent, grown locally on first sight.
@@ -255,7 +267,8 @@ class WorkerState:
         bundle = self.bundle_for(curve_name, circuit_name)
         handle = ProverHandle(bundle, backend, self.parallel_msm,
                               self.msm_window, self.msm_interval,
-                              self.executor, telemetry=telemetry)
+                              self.executor, telemetry=telemetry,
+                              autotune=self.autotune)
         self.handles.put(key, handle)
         return handle, False
 
@@ -366,6 +379,7 @@ def worker_main(index: int, shard: int, task_fd: int, result_fd: int,
         msm_interval=cfg.get("msm_interval", 2),
         verify_inline=cfg.get("verify_inline", True),
         cache_entries=cfg.get("cache_entries"),
+        autotune=cfg.get("autotune", False),
         setups=setups,
     )
     if warm_handles:

@@ -40,7 +40,9 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
                      msm_interval: Optional[int] = None,
                      backend=None, msm_executor=None,
                      precompute: bool = True,
-                     telemetry=None) -> Groth16Prover:
+                     telemetry=None,
+                     autotune: bool = False,
+                     tuner=None) -> Groth16Prover:
     """A Groth16 prover whose POLY stage runs the GZKP shuffle-less NTT
     and whose MSMs run the consolidated checkpointed algorithm.
 
@@ -57,14 +59,29 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
     per-query ``preprocess`` spans. Proof-time calls then record an
     ``msm-context-cache`` hit/miss event per MSM on the job's
     telemetry. The cache is exposed as ``prover.msm_contexts``.
+
+    ``autotune=True`` attaches a
+    :class:`~repro.backend.autotune.KernelAutotuner` (or the shared
+    ``tuner`` instance, if given): both MSM engines take their (k, M)
+    from its joint cost-model search / persisted profiles (explicit
+    ``msm_window``/``msm_interval`` still win), and the scalar field's
+    carry-clean cadence is raised to the certifier-gated maximum. The
+    tuner is exposed as ``prover.tuner``; tuning never changes proof
+    bytes, only throughput.
     """
+    if autotune and tuner is None:
+        from repro.backend.autotune import KernelAutotuner
+
+        tuner = KernelAutotuner()
+    if tuner is not None:
+        tuner.apply_cadence(curve.fr.modulus, f"{curve.name}.Fr")
     ntt_engine = GzkpNtt(curve.fr, device, backend=backend)
     msm_g1 = GzkpMsm(curve.g1, curve.fr.bits, device,
                      window=msm_window, interval=msm_interval,
-                     backend=backend)
+                     backend=backend, tuner=tuner)
     msm_g2 = GzkpMsm(curve.g2, curve.fr.bits, device,
                      window=msm_window, interval=msm_interval,
-                     fq_mul_factor=3.0, backend=backend)
+                     fq_mul_factor=3.0, backend=backend, tuner=tuner)
 
     # One bounded cache per prover, keyed by the identity of the
     # proving-key query vector each MSM call receives by reference.
@@ -107,4 +124,5 @@ def make_gzkp_prover(r1cs: R1CS, pk: ProvingKey, curve: CurvePair,
                            msm_g1=run_g1, msm_g2=run_g2, backend=backend,
                            msm_executor=msm_executor)
     prover.msm_contexts = contexts
+    prover.tuner = tuner
     return prover

@@ -8,6 +8,7 @@ from repro.analysis.bounds import (
     certify_all,
     certify_dfp,
     certify_modulus,
+    certify_native_mont,
     certify_numpy_limb,
     certify_soa_curve,
     limb_geometry,
@@ -25,8 +26,8 @@ BN254_R = SCALAR_FIELDS["ALT-BN128"].modulus
 
 def test_certify_all_passes_at_head():
     certs = certify_all()
-    # 3 families x 6 distinct moduli (Fr + Fq of three curves)
-    assert len(certs) == 18
+    # 4 families x 6 distinct moduli (Fr + Fq of three curves)
+    assert len(certs) == 24
     bad = [(c.family, c.modulus_name, [v.name for v in c.violations()])
            for c in certs if not c.ok]
     assert bad == []
@@ -37,6 +38,33 @@ def test_every_family_certifies(modulus):
     for cert in certify_modulus("m", modulus):
         assert cert.ok, [v.name for v in cert.violations()]
         assert cert.checks, "empty certificate proves nothing"
+
+
+def test_native_mont_certificate_mirrors_loader_gate():
+    from repro.backend import native
+
+    cert = certify_native_mont("ALT-BN128.Fr", BN254_R)
+    assert cert.ok
+    assert cert.family == "native-mont"
+    # The certificate's width cap must agree with the loader's actual
+    # MAX_WORDS gate (get_native_field refuses w > MAX_WORDS - 2).
+    assert cert.params["max_words"] == native.MAX_WORDS
+    width = cert.check("cios/scratch-width")
+    assert width is not None
+    assert width.limit == native.MAX_WORDS - 1
+
+
+def test_native_mont_rejects_even_and_oversized_moduli():
+    # An even modulus has no n0inv: structural violation.
+    cert = certify_native_mont("even", (1 << 64) - 2)
+    assert not cert.ok
+    assert "cios/odd-modulus" in {v.name for v in cert.violations()}
+    # A modulus wider than the scratch gate fails the width check —
+    # exactly the inputs get_native_field refuses at runtime.
+    huge = (1 << (64 * 31)) - 3
+    cert = certify_native_mont("huge", huge)
+    assert not cert.ok
+    assert "cios/scratch-width" in {v.name for v in cert.violations()}
 
 
 def test_weakened_cadence_is_rejected():
@@ -136,7 +164,7 @@ def test_report_json_round_trips():
     report = AnalysisReport(certificates=certify_modulus("m", BN254_R))
     data = json.loads(report.to_json())
     assert data["ok"] is True
-    assert len(data["certificates"]) == 3
+    assert len(data["certificates"]) == 4
     for cert in data["certificates"]:
         for check in cert["checks"]:
             assert check["bound"] < check["limit"]

@@ -1,0 +1,264 @@
+"""Native kernel loader + NTT/vmul kernel tests.
+
+The loader scenarios (corrupt cached artifact, compile failure, the
+two-process first-compile race) run in subprocesses with a private
+``REPRO_NATIVE_CACHE``: the parent test process keeps its own loaded
+library untouched, and — crucially — no test ever truncates a ``.so``
+that is dlopen'd in its own process (that is a SIGBUS, not a test).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import native
+from repro.ff.params import SCALAR_FIELDS
+from repro.ff.primefield import PrimeField
+from repro.ntt.reference import intt, ntt
+
+pytestmark = pytest.mark.skipif(
+    not native.native_available(), reason="no C compiler available")
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+CURVE_NAMES = sorted(SCALAR_FIELDS)
+
+
+def _run_py(code: str, env_extra: dict, cwd=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, timeout=300, env=env, cwd=cwd,
+    )
+
+
+# -- loader regressions (subprocess, private cache) ----------------------------
+
+
+def test_corrupt_cached_so_self_heals(tmp_path):
+    """A corrupt persistent-cache artifact present *before* first load
+    must cost one recompile, never disable native for the process."""
+    cdir = tmp_path / native._source_digest()
+    cdir.mkdir(parents=True)
+    (cdir / "kernels.so").write_bytes(b"this is not an ELF object\n")
+    code = """
+import json
+from repro.backend import native
+ok = native.native_available()
+print(json.dumps({"ok": ok, "events": [e["kind"] for e in native.kernel_events()]}))
+"""
+    proc = _run_py(code, {"REPRO_NATIVE_CACHE": str(tmp_path)})
+    assert proc.returncode == 0, proc.stderr
+    import json
+
+    out = json.loads(proc.stdout)
+    assert out["ok"] is True
+    assert "native-kernel-cache-corrupt" in out["events"]
+    assert "native-kernel-compile" in out["events"]
+    # the healed artifact is a real shared object now
+    assert (cdir / "kernels.so").stat().st_size > 1000
+
+
+def test_compile_failure_is_reported_not_silent(tmp_path):
+    """A failing compiler yields a one-time warning + telemetry event
+    carrying the compiler stderr, and leaves no temp litter behind."""
+    bindir = tmp_path / "bin"
+    bindir.mkdir()
+    for name in ("cc", "gcc", "clang"):
+        fake = bindir / name
+        fake.write_text("#!/bin/sh\necho 'doom: bad flag' >&2\nexit 1\n")
+        fake.chmod(0o755)
+    cache = tmp_path / "cache"
+    code = """
+import json, warnings
+from repro.backend import native
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    ok = native.native_available()
+evs = native.kernel_events()
+fail = [e for e in evs if e["kind"] == "native-kernel-compile-failed"]
+print(json.dumps({
+    "ok": ok,
+    "stderr": fail[0].get("stderr", "") if fail else "",
+    "warned": any("compile failed" in str(w.message) for w in caught),
+}))
+"""
+    proc = _run_py(code, {
+        "REPRO_NATIVE_CACHE": str(cache),
+        "PATH": f"{bindir}:{os.environ.get('PATH', '')}",
+    })
+    assert proc.returncode == 0, proc.stderr
+    import json
+
+    out = json.loads(proc.stdout)
+    assert out["ok"] is False
+    assert "doom: bad flag" in out["stderr"]
+    assert out["warned"] is True
+    cdir = cache / native._source_digest()
+    leftovers = [p for p in os.listdir(cdir)
+                 if p.startswith(".kernels-")] if cdir.is_dir() else []
+    assert leftovers == []
+
+
+def test_two_process_first_compile_race(tmp_path):
+    """Two fresh processes racing the first compile against one shared
+    cache directory must both end up with working kernels and a single
+    complete published artifact."""
+    code = """
+import json
+from repro.backend import native
+from repro.ff.params import SCALAR_FIELDS
+p = SCALAR_FIELDS["ALT-BN128"].modulus
+f = native.get_native_field(p)
+xs = [(i * 7919 + 13) % p for i in range(64)]
+ys = [(i * 104729 + 3) % p for i in range(64)]
+out = f.vmul_ints(xs, ys)
+assert out == [(x * y) % p for x, y in zip(xs, ys)]
+print(json.dumps({"ok": True,
+                  "events": [e["kind"] for e in native.kernel_events()]}))
+"""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env["REPRO_NATIVE_CACHE"] = str(tmp_path)
+    procs = [subprocess.Popen([sys.executable, "-c", code],
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE, text=True, env=env)
+             for _ in range(2)]
+    results = [p.communicate(timeout=300) for p in procs]
+    import json
+
+    for proc, (out, err) in zip(procs, results):
+        assert proc.returncode == 0, err
+        assert json.loads(out)["ok"] is True
+    sopath = tmp_path / native._source_digest() / "kernels.so"
+    assert sopath.stat().st_size > 1000
+
+
+def test_env_flip_resets_loader_in_process(monkeypatch):
+    """Toggling REPRO_NATIVE in-process must be honoured on the next
+    lookup (the service's per-worker env overrides rely on this)."""
+    assert native.native_available()
+    monkeypatch.setenv(native.NATIVE_ENV_VAR, "0")
+    native.drain_kernel_events()
+    assert not native.native_available()
+    assert any(e["kind"] == "native-kernel-disabled"
+               for e in native.kernel_events())
+    monkeypatch.delenv(native.NATIVE_ENV_VAR)
+    assert native.native_available()
+
+
+def test_reset_native_clears_state():
+    native.reset_native()
+    assert native._LIB is None and not native._LOAD_ATTEMPTED
+    assert native.native_available()
+    p = SCALAR_FIELDS["ALT-BN128"].modulus
+    assert native.get_native_field(p) is not None
+
+
+def test_corrupt_const_block_recomputes(tmp_path, monkeypatch):
+    """A damaged per-modulus constant block is recomputed and
+    republished — wrong constants can never load."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+    native.reset_native()
+    try:
+        p = SCALAR_FIELDS["ALT-BN128"].modulus
+        f = native.get_native_field(p)
+        path = native._const_block_path(p)
+        assert os.path.exists(path)
+        good = open(path, "rb").read()
+        bad = bytearray(good)
+        bad[len(bad) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(bad))
+        assert native._load_const_block(path, p, f.w) is None
+        native.reset_native()
+        f2 = native.get_native_field(p)
+        xs = [123456789, p - 2]
+        assert f2.vmul_ints(xs, xs) == [(x * x) % p for x in xs]
+        assert native._load_const_block(path, p, f2.w) is not None
+    finally:
+        monkeypatch.delenv("REPRO_NATIVE_CACHE")
+        native.reset_native()
+
+
+# -- kernel correctness --------------------------------------------------------
+
+
+@pytest.mark.parametrize("curve", CURVE_NAMES)
+@pytest.mark.parametrize("n", [2, 8, 64, 256])
+def test_ntt_matches_reference(curve, n):
+    field = PrimeField(SCALAR_FIELDS[curve].modulus)
+    nf = native.get_native_field(field.modulus)
+    assert nf is not None
+    p = field.modulus
+    vals = [(i * 2654435761 + 17) % p for i in range(n)]
+    omega = field.root_of_unity(n)
+    got = nf.ntt_ints(field, vals, omega)
+    want = ntt(field, vals, backend="python")
+    assert got == want
+
+
+@pytest.mark.parametrize("curve", CURVE_NAMES)
+def test_ntt_roundtrip_through_reference_intt(curve):
+    field = PrimeField(SCALAR_FIELDS[curve].modulus)
+    nf = native.get_native_field(field.modulus)
+    p = field.modulus
+    vals = [(i * i + 5) % p for i in range(128)]
+    fwd = nf.ntt_ints(field, vals, field.root_of_unity(128))
+    assert intt(field, fwd, backend="python") == vals
+
+
+@pytest.mark.parametrize("curve", CURVE_NAMES)
+def test_pointwise_kernels(curve):
+    p = SCALAR_FIELDS[curve].modulus
+    nf = native.get_native_field(p)
+    xs = [(i * 7 + 1) % p for i in range(33)]
+    ys = [(p - 1 - i * 3) % p for i in range(33)]
+    assert nf.vmul_ints(xs, ys) == [(x * y) % p for x, y in zip(xs, ys)]
+    g = 22222222222
+    assert nf.vmul_powers_ints(xs, g) == \
+        [(x * pow(g, i, p)) % p for i, x in enumerate(xs)]
+    k = p - 12345
+    assert nf.vscale_ints(xs, k) == [(x * k) % p for x in xs]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_encode_decode_roundtrip_property(data):
+    """Montgomery encode/decode round-trips for arbitrary residues on
+    all three scalar moduli — including the boundary values 0, 1, p-1."""
+    for curve in CURVE_NAMES:
+        p = SCALAR_FIELDS[curve].modulus
+        nf = native.get_native_field(p)
+        vals = data.draw(st.lists(
+            st.one_of(st.sampled_from([0, 1, p - 1]),
+                      st.integers(min_value=0, max_value=p - 1)),
+            min_size=1, max_size=16))
+        arr = nf.encode(vals)
+        assert nf.decode(arr) == vals
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_vmul_property(data):
+    for curve in CURVE_NAMES:
+        p = SCALAR_FIELDS[curve].modulus
+        nf = native.get_native_field(p)
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        xs = data.draw(st.lists(st.integers(0, p - 1),
+                                min_size=n, max_size=n))
+        ys = data.draw(st.lists(st.integers(0, p - 1),
+                                min_size=n, max_size=n))
+        assert nf.vmul_ints(xs, ys) == \
+            [(x * y) % p for x, y in zip(xs, ys)]
+
+
+def test_drain_kernel_events_clears():
+    native.kernel_events()  # may be non-empty
+    native.drain_kernel_events()
+    assert native.kernel_events() == []

@@ -207,6 +207,28 @@ def test_native_disabled_degrades_gracefully():
     downs = r.downgrades()
     assert downs, "expected a native-kernel fallback event"
     assert any("native" in d["kind"] for d in downs)
+    # the worker honoured its env override from scratch (reset_native
+    # post-fork) and the loader's disable event reached job telemetry
+    kinds = [e["kind"] for e in r.telemetry.get("events", [])]
+    assert "native-kernel-disabled" in kinds
+
+
+def test_native_disabled_worker_still_independently_verifies():
+    """Per-worker REPRO_NATIVE=0 changes the compute path, never
+    soundness: the scalar-fallback proof verifies against a key
+    derived outside the service."""
+    job = ProofJob("ALT-BN128", "cubic", (3,), backend="numpy")
+    with ProvingService(workers=1, env={"REPRO_NATIVE": "0"}) as svc:
+        off = svc.prove_batch([job])[0]
+    assert off.ok and off.verified
+    assert _independently_verifies(off)
+
+
+def test_autotuned_service_proves_and_verifies():
+    with ProvingService(workers=0, autotune=True) as svc:
+        r = svc.prove_batch([ProofJob("ALT-BN128", "cubic", (5,))])[0]
+    assert r.ok and r.verified
+    assert _independently_verifies(r)
 
 
 def test_unknown_backend_downgrades_to_python():
