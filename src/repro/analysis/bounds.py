@@ -13,7 +13,7 @@ dataflow. Each kernel family is modelled as magnitude arithmetic on
 per-row bounds (pure Python ints — no float can round, no int64 can
 wrap inside the certifier itself), and every step that the real kernel
 performs in float64 or int64 records a :class:`~repro.analysis.report.
-BoundCheck` into a tracker that keeps the worst case seen. Four
+BoundCheck` into a tracker that keeps the worst case seen. Five
 families are covered:
 
 * ``dfp`` — the base-2^52 Dekker two-product multiplier.
@@ -27,6 +27,12 @@ families are covered:
   (:mod:`repro.backend.native`): u128 accumulator range, scratch
   width, and the canonicality invariants the raw-domain Stockham
   butterflies rest on.
+* ``native-jacobian`` — the fused raw-domain Jacobian point kernels
+  built on those CIOS primitives: the same accumulator/scratch gates,
+  the canonicality closure every fused encode -> formula -> decode
+  chain relies on, exactness of the Montgomery h/r special-lane
+  planes, and machine-checked Montgomery-mul counts per point op
+  (formula muls + fused conversions, Karatsuba 3-mul Fq2 tower).
 
 This module must stay importable from the kernels it certifies (the
 runtime cadence guard in ``numpy_limb`` imports
@@ -50,6 +56,7 @@ __all__ = [
     "certify_dfp",
     "certify_numpy_limb",
     "certify_native_mont",
+    "certify_native_jacobian",
     "certify_soa_curve",
     "certify_modulus",
     "certify_all",
@@ -837,16 +844,246 @@ def certify_native_mont(name: str, modulus: int) -> KernelCertificate:
     )
 
 
+# -- native fused Jacobian point kernels ---------------------------------------
+
+#: the paper's Jacobian formula mul counts (mirrors
+#: ``CurveGroup.PDBL_FQ_MULS`` etc.; the cross-check test asserts they
+#: agree so the parity checks below can stay import-free)
+_PDBL_FQ_MULS = 7
+_PADD_FQ_MULS = 16
+_PMIXED_FQ_MULS = 11
+
+
+class _MontReplay:
+    """Montgomery-mul counter for the fused Jacobian kernels. Every
+    value in a kernel is an abstract *canonical* residue: mont_mul_one
+    returns canonical outputs whenever the CIOS pre-subtract bound
+    holds, and mod_add_one / mod_sub_one are closed over canonical
+    inputs — so replaying the op sequence both counts the muls and
+    witnesses that no op ever sees a non-canonical operand."""
+
+    def __init__(self) -> None:
+        self.muls = 0
+
+    def mul(self, *_args) -> str:
+        self.muls += 1
+        return "canonical"
+
+    def add(self, *_args) -> str:
+        return "canonical"
+
+    sub = add
+
+
+def _native_dbl_muls(a_is_zero: bool) -> int:
+    """mont_mul count of ``jac_dbl_fp`` (encode, formula, decode)."""
+    m = _MontReplay()
+    x = m.mul()  # encode X by R^2
+    y = m.mul()  # encode Y
+    z = m.mul()  # encode Z
+    ysq = m.mul(y, y)
+    s = m.add(m.mul(x, ysq))  # 4xy^2 via two add-doublings
+    mm = m.add(m.mul(x, x))  # 3x^2 via adds
+    if not a_is_zero:
+        t = m.mul(z, z)
+        t = m.mul(t, t)
+        mm = m.add(mm, m.mul(t, "a_mont"))
+    x3 = m.sub(m.mul(mm, mm), s)
+    y3 = m.sub(m.mul(mm, m.sub(s, x3)), m.mul(ysq, ysq))
+    m.mul(y, z)  # z3 = 2yz
+    for _ in range(3):
+        m.mul()  # decode x3 / y3 / z3 by the raw one-row
+    return m.muls
+
+
+def _native_add_muls() -> int:
+    """mont_mul count of ``jac_add_fp``."""
+    m = _MontReplay()
+    x1, y1, z1, x2, y2, z2 = (m.mul() for _ in range(6))  # encode
+    z1q = m.mul(z1, z1)
+    z2q = m.mul(z2, z2)
+    u1 = m.mul(x1, z2q)
+    u2 = m.mul(x2, z1q)
+    s1 = m.mul(y1, m.mul(z2q, z2))
+    s2 = m.mul(y2, m.mul(z1q, z1))
+    h = m.sub(u2, u1)
+    r = m.sub(s2, s1)
+    hsq = m.mul(h, h)
+    hcu = m.mul(hsq, h)
+    u1h = m.mul(u1, hsq)
+    x3 = m.sub(m.sub(m.mul(r, r), hcu), u1h)
+    m.sub(m.mul(r, m.sub(u1h, x3)), m.mul(s1, hcu))  # y3
+    m.mul(h, m.mul(z1, z2))  # z3
+    for _ in range(3):
+        m.mul()  # decode
+    return m.muls
+
+
+def _native_madd_muls() -> int:
+    """mont_mul count of ``jac_madd_fp``."""
+    m = _MontReplay()
+    x1, y1, z1, x2, y2 = (m.mul() for _ in range(5))  # encode
+    z1q = m.mul(z1, z1)
+    u2 = m.mul(x2, z1q)
+    s2 = m.mul(y2, m.mul(z1q, z1))
+    h = m.sub(u2, x1)
+    r = m.sub(s2, y1)
+    hsq = m.mul(h, h)
+    hcu = m.mul(hsq, h)
+    u1h = m.mul(x1, hsq)
+    x3 = m.sub(m.sub(m.mul(r, r), hcu), u1h)
+    m.sub(m.mul(r, m.sub(u1h, x3)), m.mul(y1, hcu))  # y3
+    m.mul(h, z1)  # z3
+    for _ in range(3):
+        m.mul()  # decode
+    return m.muls
+
+
+def _karatsuba_base_muls() -> int:
+    """Base-field mont_mul count of one ``fq2_mul_one`` (the tower's
+    c0 fold is an add/sub when c0 == 1; the extra c0m mul is accounted
+    in ``fq_mul_factor``, not here)."""
+    m = _MontReplay()
+    t0 = m.mul("a0", "b0")
+    t2 = m.mul("a1", "b1")
+    t1 = m.mul(m.add("a0", "a1"), m.add("b0", "b1"))
+    m.sub(t0, t2)  # r0 (c0 == 1 fold)
+    m.sub(m.sub(t1, t0), t2)  # r1
+    return m.muls
+
+
+def certify_native_jacobian(name: str, modulus: int) -> KernelCertificate:
+    """Certify the fused raw-domain Jacobian point kernels
+    (``jac_dbl_fp`` / ``jac_add_fp`` / ``jac_madd_fp`` and their Fq2
+    Karatsuba twins in :mod:`repro.backend.native`).
+
+    The kernels compose exactly three primitives — ``mont_mul_one``,
+    ``mod_add_one``, ``mod_sub_one`` — so their safety reduces to the
+    CIOS gates of :func:`certify_native_mont` plus three kernel-level
+    invariants: (1) canonicality closure, every op's operands stay in
+    [0, p) through the whole encode -> formula -> decode chain; (2) the
+    emitted Montgomery h/r planes are exact special-lane discriminants,
+    because x -> x*R mod p is a bijection for odd p so h == 0 iff the
+    canonical difference is zero; (3) the per-op Montgomery-mul counts
+    equal the paper's formula constants plus the fused conversions —
+    the same totals :func:`repro.backend.numpy_curve.
+    native_point_op_muls` feeds the autotuner's (k, M) pricing.
+    """
+    import math as _math
+
+    max_words = 32  # mirrors native.MAX_WORDS (cross-check test)
+    p = modulus
+    bits = p.bit_length()
+    w = (bits + 63) // 64
+    R = 1 << (64 * w)
+    M = (1 << 64) - 1
+    trk = _Tracker()
+    trk.hit(
+        "jac/odd-modulus", 1 - (p & 1), 1, "structure",
+        "the kernels' mont_mul_one needs n0inv = -N^-1 mod 2^64, which "
+        "exists only for odd moduli",
+    )
+    trk.hit(
+        "jac/scratch-width", w, max_words - 1, "structure",
+        "point kernels reuse the CIOS scratch; the loader gates word "
+        "width at MAX_WORDS - 2",
+    )
+    trk.hit(
+        "jac/mul-accumulator", M * M + M + M, 1 << 128, "u128",
+        "the shared CIOS multiply accumulator must not wrap unsigned "
+        "__int128",
+    )
+    trk.hit(
+        "jac/reduce-accumulator", M * M + M + M, 1 << 128, "u128",
+        "the shared CIOS reduction accumulator must not wrap unsigned "
+        "__int128",
+    )
+    pre_sub = ((p - 1) ** 2 + (R - 1) * p) // R
+    trk.hit(
+        "jac/pre-subtract", pre_sub, 2 * p, "carry",
+        "mont_mul_one's conditional subtract canonicalizes only if the "
+        "raw CIOS output stays below 2p — the fact the closure check "
+        "rests on",
+    )
+    trk.hit(
+        "jac/mont-closure", p - 1, p, "carry",
+        "every kernel op (mont mul / canonical add / canonical sub) "
+        "maps [0, p) operands to [0, p) outputs, so the fused encode -> "
+        "formula -> decode chain never leaves the canonical range",
+    )
+    trk.hit(
+        "jac/special-plane-exact", _math.gcd(R % p, p) - 1 if p > 1
+        else 1, 1, "structure",
+        "x -> x*R mod p must be a bijection (gcd(R, p) = 1) so the "
+        "Montgomery h/r planes are zero exactly when the canonical "
+        "u2 - u1 / s2 - s1 differences are — the special-lane routing "
+        "is exact, never heuristic",
+    )
+    # Per-op mul parity: replayed kernel counts vs formula constants
+    # plus fused conversions (enc rows x 1 + dec rows x 1 each).
+    dbl_a0 = _native_dbl_muls(a_is_zero=True)
+    dbl_a = _native_dbl_muls(a_is_zero=False)
+    add_c = _native_add_muls()
+    madd_c = _native_madd_muls()
+    trk.hit(
+        "jac/dbl-mul-parity", abs(dbl_a0 - (_PDBL_FQ_MULS + 6)), 1,
+        "structure",
+        "jac_dbl (a = 0) must spend exactly the formula's 7 muls plus "
+        "3 encodes + 3 decodes",
+    )
+    trk.hit(
+        "jac/dbl-a-mul-parity", abs(dbl_a - (_PDBL_FQ_MULS + 3 + 6)), 1,
+        "structure",
+        "jac_dbl (a != 0) adds exactly the z^4 * a term's 3 muls",
+    )
+    trk.hit(
+        "jac/add-mul-parity", abs(add_c - (_PADD_FQ_MULS + 9)), 1,
+        "structure",
+        "jac_add must spend exactly the formula's 16 muls plus "
+        "6 encodes + 3 decodes",
+    )
+    trk.hit(
+        "jac/madd-mul-parity", abs(madd_c - (_PMIXED_FQ_MULS + 8)), 1,
+        "structure",
+        "jac_madd must spend exactly the formula's 11 muls plus "
+        "5 encodes + 3 decodes",
+    )
+    trk.hit(
+        "jac/karatsuba-muls", abs(_karatsuba_base_muls() - 3), 1,
+        "structure",
+        "each Fq2 product must cost exactly 3 base-field muls "
+        "(Karatsuba), the ratio the G2 fq_mul_factor prices",
+    )
+    return KernelCertificate(
+        family="native-jacobian",
+        modulus_name=name,
+        modulus_bits=bits,
+        params={
+            "words": w,
+            "max_words": max_words,
+            "radix_bits": 64,
+            "pre_subtract_bound": pre_sub,
+            "native_muls": {
+                "pdbl": dbl_a0, "pdbl_a": dbl_a,
+                "padd": add_c, "pmixed": madd_c,
+            },
+            "karatsuba_base_muls": _karatsuba_base_muls(),
+        },
+        checks=trk.checks(),
+    )
+
+
 # -- registry sweep ------------------------------------------------------------
 
 
 def certify_modulus(name: str, modulus: int) -> List[KernelCertificate]:
-    """All four family certificates for one modulus."""
+    """All five family certificates for one modulus."""
     return [
         certify_dfp(name, modulus),
         certify_numpy_limb(name, modulus),
         certify_soa_curve(name, modulus),
         certify_native_mont(name, modulus),
+        certify_native_jacobian(name, modulus),
     ]
 
 

@@ -77,6 +77,23 @@ class TunedProfile:
     source: str = "search"
 
 
+def _native_point_muls(engine):
+    """Per-op mul costs on the native Jacobian floor for this engine's
+    group, or None when the engine's compute backend would not dispatch
+    to the compiled kernels (scalar backend, ``REPRO_NATIVE=0``,
+    over-wide modulus, unsupported coordinate field)."""
+    from repro.backend import get_backend
+    from repro.backend.numpy_curve import native_point_op_muls
+
+    try:
+        backend = get_backend(engine.backend)
+    except Exception:
+        return None
+    if getattr(backend, "name", "") != "numpy":
+        return None
+    return native_point_op_muls(engine.group)
+
+
 def _profiles_dir() -> str:
     from repro.backend.native import cache_base_dir
 
@@ -137,10 +154,15 @@ class KernelAutotuner:
 
     def _search_msm(self, engine, n: int):
         """Joint (k, M) sweep under the preprocessing memory budget,
-        priced by the engine's full cost plan."""
+        priced by the engine's full cost plan. When the engine's group
+        runs on the native Jacobian kernels the per-op mul costs are
+        replaced with that floor (formula muls + fused encode/decode),
+        so the knee lands where the shipped kernels put it; any (k, M)
+        is bit-identity-preserving, so this only shifts throughput."""
         from repro.msm.windows import num_windows
 
         budget = self._budget(engine)
+        point_muls = _native_point_muls(engine)
         best = None
         best_seconds = float("inf")
         for k in WINDOW_RANGE:
@@ -154,7 +176,8 @@ class KernelAutotuner:
                 if m > m_floor and cand.preprocess_bytes > budget:
                     continue  # pragma: no cover - sparser is smaller
                 seconds = engine.device.time_of(
-                    engine._plan_with_cfg(n, cand, None)
+                    engine._plan_with_cfg(n, cand, None,
+                                          point_muls=point_muls)
                 )
                 if seconds < best_seconds:
                     best, best_seconds = cand, seconds
@@ -239,6 +262,7 @@ class KernelAutotuner:
             return cached
         from repro.analysis.bounds import (
             certified_safe_clean_every,
+            certify_native_jacobian,
             certify_native_mont,
             certify_numpy_limb,
             limb_geometry,
@@ -264,8 +288,19 @@ class KernelAutotuner:
                 f"{geom.bits}-bit modulus: "
                 f"{[v.name for v in native_cert.violations()]}"
             )
+        # The bucket folds run the fused Jacobian point kernels on the
+        # same CIOS floor; a modulus they cannot certify is not tunable.
+        jac_cert = certify_native_jacobian(name or f"mod-{geom.bits}b",
+                                           modulus)
+        if not jac_cert.ok:
+            raise TuningError(
+                f"certifier rejected the native Jacobian kernels for a "
+                f"{geom.bits}-bit modulus: "
+                f"{[v.name for v in jac_cert.violations()]}"
+            )
         result = (cadence, {"numpy-limb": cert.to_dict(),
-                            "native-mont": native_cert.to_dict()})
+                            "native-mont": native_cert.to_dict(),
+                            "native-jacobian": jac_cert.to_dict()})
         self._cadence_memo[modulus] = result
         return result
 

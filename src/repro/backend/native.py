@@ -328,6 +328,378 @@ void affine_combine_batch(uint64_t *x3, uint64_t *y3,
         mod_sub_one(y3 + off, t, ly + off, N, w);
     }
 }
+
+/* -- batched SoA Jacobian point kernels ----------------------------------
+
+   Raw canonical (n, w) word rows in, raw canonical rows out: each lane
+   is Montgomery-encoded in-kernel (muls by r2), run through the exact
+   operation sequence of repro.curves.weierstrass's jdouble/jadd/
+   jmixed_add (every Montgomery product and modular add/sub is
+   canonicalized, so values track the scalar fold step for step), and
+   decoded with a final mul by 1 — the decoded outputs are bit-identical
+   to the scalar formulas, not merely group-equal.
+
+   The add kernels also emit the Montgomery h = u2 - u1 and r = s2 - s1
+   planes: h == 0 / r == 0 iff the canonical field values coincide, so
+   the Python wrapper zero-tests them to route special lanes (P == Q ->
+   the self-counting double, P == -Q -> infinity) exactly like the int64
+   engine. Special lanes compute garbage in the main sequence (there is
+   no division to fault on); the wrapper overwrites their output rows. */
+
+static inline void mont_dec_one(uint64_t *op, const uint64_t *ap,
+                                const uint64_t *N, uint64_t n0inv, int w)
+{
+    uint64_t one[32];
+    for (int j = 0; j < w; j++) one[j] = 0;
+    one[0] = 1;
+    mont_mul_one(op, ap, one, N, n0inv, w);
+}
+
+/* am is the Montgomery row of the curve's a coefficient, or NULL when
+   a == 0 (the a*z^4 term of the general doubling is skipped). */
+void jac_dbl_fp(uint64_t *ox, uint64_t *oy, uint64_t *oz,
+                const uint64_t *x, const uint64_t *y, const uint64_t *z,
+                size_t n, const uint64_t *am, const uint64_t *r2,
+                const uint64_t *N, uint64_t n0inv, int w)
+{
+    uint64_t X[32], Y[32], Z[32], ysq[32], s[32], m[32], t[32], u[32];
+    for (size_t k = 0; k < n; k++) {
+        size_t off = k * w;
+        mont_mul_one(X, x + off, r2, N, n0inv, w);
+        mont_mul_one(Y, y + off, r2, N, n0inv, w);
+        mont_mul_one(Z, z + off, r2, N, n0inv, w);
+        mont_mul_one(ysq, Y, Y, N, n0inv, w);
+        mont_mul_one(s, X, ysq, N, n0inv, w);
+        mod_add_one(s, s, s, N, w);
+        mod_add_one(s, s, s, N, w);               /* s = 4*x*y^2 */
+        mont_mul_one(m, X, X, N, n0inv, w);
+        mod_add_one(t, m, m, N, w);
+        mod_add_one(m, m, t, N, w);               /* m = 3*x^2 */
+        if (am) {
+            mont_mul_one(t, Z, Z, N, n0inv, w);
+            mont_mul_one(t, t, t, N, n0inv, w);
+            mont_mul_one(t, t, am, N, n0inv, w);
+            mod_add_one(m, m, t, N, w);           /* + a*z^4 */
+        }
+        mont_mul_one(t, m, m, N, n0inv, w);
+        mod_add_one(u, s, s, N, w);
+        mod_sub_one(t, t, u, N, w);               /* x3 = m^2 - 2s */
+        mod_sub_one(u, s, t, N, w);
+        mont_mul_one(u, m, u, N, n0inv, w);       /* m*(s - x3) */
+        mont_mul_one(ysq, ysq, ysq, N, n0inv, w);
+        mod_add_one(ysq, ysq, ysq, N, w);
+        mod_add_one(ysq, ysq, ysq, N, w);
+        mod_add_one(ysq, ysq, ysq, N, w);         /* 8*y^4 */
+        mod_sub_one(u, u, ysq, N, w);             /* y3 */
+        mont_mul_one(Y, Y, Z, N, n0inv, w);
+        mod_add_one(Y, Y, Y, N, w);               /* z3 = 2*y*z */
+        mont_dec_one(ox + off, t, N, n0inv, w);
+        mont_dec_one(oy + off, u, N, n0inv, w);
+        mont_dec_one(oz + off, Y, N, n0inv, w);
+    }
+}
+
+void jac_add_fp(uint64_t *ox, uint64_t *oy, uint64_t *oz,
+                uint64_t *oh, uint64_t *orr,
+                const uint64_t *x1, const uint64_t *y1, const uint64_t *z1,
+                const uint64_t *x2, const uint64_t *y2, const uint64_t *z2,
+                size_t n, const uint64_t *r2, const uint64_t *N,
+                uint64_t n0inv, int w)
+{
+    uint64_t X1[32], Y1[32], Z1[32], X2[32], Y2[32], Z2[32];
+    uint64_t z1q[32], z2q[32], u1[32], s1[32], h[32], r[32];
+    uint64_t t[32], u[32];
+    for (size_t k = 0; k < n; k++) {
+        size_t off = k * w;
+        mont_mul_one(X1, x1 + off, r2, N, n0inv, w);
+        mont_mul_one(Y1, y1 + off, r2, N, n0inv, w);
+        mont_mul_one(Z1, z1 + off, r2, N, n0inv, w);
+        mont_mul_one(X2, x2 + off, r2, N, n0inv, w);
+        mont_mul_one(Y2, y2 + off, r2, N, n0inv, w);
+        mont_mul_one(Z2, z2 + off, r2, N, n0inv, w);
+        mont_mul_one(z1q, Z1, Z1, N, n0inv, w);
+        mont_mul_one(z2q, Z2, Z2, N, n0inv, w);
+        mont_mul_one(u1, X1, z2q, N, n0inv, w);
+        mont_mul_one(t, X2, z1q, N, n0inv, w);    /* u2 */
+        mod_sub_one(h, t, u1, N, w);
+        mont_mul_one(u, z2q, Z2, N, n0inv, w);
+        mont_mul_one(s1, Y1, u, N, n0inv, w);
+        mont_mul_one(u, z1q, Z1, N, n0inv, w);
+        mont_mul_one(u, Y2, u, N, n0inv, w);      /* s2 */
+        mod_sub_one(r, u, s1, N, w);
+        for (int j = 0; j < w; j++) {
+            oh[off + j] = h[j];
+            orr[off + j] = r[j];
+        }
+        mont_mul_one(t, h, h, N, n0inv, w);       /* h^2 */
+        mont_mul_one(u1, u1, t, N, n0inv, w);     /* u1*h^2 */
+        mont_mul_one(t, t, h, N, n0inv, w);       /* h^3 */
+        mont_mul_one(s1, s1, t, N, n0inv, w);     /* s1*h^3 */
+        mont_mul_one(u, r, r, N, n0inv, w);
+        mod_sub_one(u, u, t, N, w);
+        mod_add_one(t, u1, u1, N, w);
+        mod_sub_one(u, u, t, N, w);               /* x3 */
+        mod_sub_one(t, u1, u, N, w);
+        mont_mul_one(t, r, t, N, n0inv, w);
+        mod_sub_one(t, t, s1, N, w);              /* y3 */
+        mont_mul_one(Z1, Z1, Z2, N, n0inv, w);
+        mont_mul_one(Z1, h, Z1, N, n0inv, w);     /* z3 = h*z1*z2 */
+        mont_dec_one(ox + off, u, N, n0inv, w);
+        mont_dec_one(oy + off, t, N, n0inv, w);
+        mont_dec_one(oz + off, Z1, N, n0inv, w);
+    }
+}
+
+void jac_madd_fp(uint64_t *ox, uint64_t *oy, uint64_t *oz,
+                 uint64_t *oh, uint64_t *orr,
+                 const uint64_t *x1, const uint64_t *y1, const uint64_t *z1,
+                 const uint64_t *x2, const uint64_t *y2,
+                 size_t n, const uint64_t *r2, const uint64_t *N,
+                 uint64_t n0inv, int w)
+{
+    uint64_t X1[32], Y1[32], Z1[32], X2[32], Y2[32];
+    uint64_t z1q[32], h[32], r[32], t[32], u[32];
+    for (size_t k = 0; k < n; k++) {
+        size_t off = k * w;
+        mont_mul_one(X1, x1 + off, r2, N, n0inv, w);
+        mont_mul_one(Y1, y1 + off, r2, N, n0inv, w);
+        mont_mul_one(Z1, z1 + off, r2, N, n0inv, w);
+        mont_mul_one(X2, x2 + off, r2, N, n0inv, w);
+        mont_mul_one(Y2, y2 + off, r2, N, n0inv, w);
+        mont_mul_one(z1q, Z1, Z1, N, n0inv, w);
+        mont_mul_one(t, X2, z1q, N, n0inv, w);    /* u2 */
+        mod_sub_one(h, t, X1, N, w);
+        mont_mul_one(u, z1q, Z1, N, n0inv, w);
+        mont_mul_one(u, Y2, u, N, n0inv, w);      /* s2 */
+        mod_sub_one(r, u, Y1, N, w);
+        for (int j = 0; j < w; j++) {
+            oh[off + j] = h[j];
+            orr[off + j] = r[j];
+        }
+        mont_mul_one(t, h, h, N, n0inv, w);       /* h^2 */
+        mont_mul_one(X1, X1, t, N, n0inv, w);     /* x1*h^2 */
+        mont_mul_one(t, t, h, N, n0inv, w);       /* h^3 */
+        mont_mul_one(Y1, Y1, t, N, n0inv, w);     /* y1*h^3 */
+        mont_mul_one(u, r, r, N, n0inv, w);
+        mod_sub_one(u, u, t, N, w);
+        mod_add_one(t, X1, X1, N, w);
+        mod_sub_one(u, u, t, N, w);               /* x3 */
+        mod_sub_one(t, X1, u, N, w);
+        mont_mul_one(t, r, t, N, n0inv, w);
+        mod_sub_one(t, t, Y1, N, w);              /* y3 */
+        mont_mul_one(Z1, h, Z1, N, n0inv, w);     /* z3 = h*z1 */
+        mont_dec_one(ox + off, u, N, n0inv, w);
+        mont_dec_one(oy + off, t, N, n0inv, w);
+        mont_dec_one(oz + off, Z1, N, n0inv, w);
+    }
+}
+
+/* -- Fq2 lanes (degree-2 extension, i^2 = -c0) ---------------------------
+
+   Packed rows: a lane is 2w contiguous words, [c0 words | c1 words].
+   Karatsuba product (3 base muls, mirroring _ExtLanes.mul in
+   numpy_curve): t0 = a0*b0, t2 = a1*b1, t1 = (a0+a1)(b0+b1) - t0 - t2,
+   result = (t0 - c0*t2, t1). c0m is the Montgomery row of c0, or NULL
+   when c0 == 1 (the reduction mul is skipped). */
+
+static inline void fq2_mul_one(uint64_t *o0, uint64_t *o1,
+                               const uint64_t *a0, const uint64_t *a1,
+                               const uint64_t *b0, const uint64_t *b1,
+                               const uint64_t *c0m, const uint64_t *N,
+                               uint64_t n0inv, int w)
+{
+    uint64_t t0[32], t1[32], t2[32], sa[32], sb[32];
+    mont_mul_one(t0, a0, b0, N, n0inv, w);
+    mont_mul_one(t2, a1, b1, N, n0inv, w);
+    mod_add_one(sa, a0, a1, N, w);
+    mod_add_one(sb, b0, b1, N, w);
+    mont_mul_one(t1, sa, sb, N, n0inv, w);
+    mod_sub_one(t1, t1, t0, N, w);
+    mod_sub_one(t1, t1, t2, N, w);
+    if (c0m)
+        mont_mul_one(t2, t2, c0m, N, n0inv, w);
+    mod_sub_one(o0, t0, t2, N, w);
+    for (int j = 0; j < w; j++) o1[j] = t1[j];
+}
+
+static inline void fq2_add2(uint64_t *o0, uint64_t *o1,
+                            const uint64_t *a0, const uint64_t *a1,
+                            const uint64_t *b0, const uint64_t *b1,
+                            const uint64_t *N, int w)
+{
+    mod_add_one(o0, a0, b0, N, w);
+    mod_add_one(o1, a1, b1, N, w);
+}
+
+static inline void fq2_sub2(uint64_t *o0, uint64_t *o1,
+                            const uint64_t *a0, const uint64_t *a1,
+                            const uint64_t *b0, const uint64_t *b1,
+                            const uint64_t *N, int w)
+{
+    mod_sub_one(o0, a0, b0, N, w);
+    mod_sub_one(o1, a1, b1, N, w);
+}
+
+static inline void fq2_enc(uint64_t *o0, uint64_t *o1, const uint64_t *a,
+                           const uint64_t *r2, const uint64_t *N,
+                           uint64_t n0inv, int w)
+{
+    mont_mul_one(o0, a, r2, N, n0inv, w);
+    mont_mul_one(o1, a + w, r2, N, n0inv, w);
+}
+
+static inline void fq2_dec(uint64_t *o, const uint64_t *a0,
+                           const uint64_t *a1, const uint64_t *N,
+                           uint64_t n0inv, int w)
+{
+    mont_dec_one(o, a0, N, n0inv, w);
+    mont_dec_one(o + w, a1, N, n0inv, w);
+}
+
+/* am is the packed (2w,) Montgomery row of the curve's a, or NULL. */
+void jac_dbl_fq2(uint64_t *ox, uint64_t *oy, uint64_t *oz,
+                 const uint64_t *x, const uint64_t *y, const uint64_t *z,
+                 size_t n, const uint64_t *am, const uint64_t *c0m,
+                 const uint64_t *r2, const uint64_t *N, uint64_t n0inv,
+                 int w)
+{
+    uint64_t X[2][32], Y[2][32], Z[2][32], ysq[2][32], s[2][32];
+    uint64_t m[2][32], t[2][32], u[2][32];
+    for (size_t k = 0; k < n; k++) {
+        size_t off = k * 2 * w;
+        fq2_enc(X[0], X[1], x + off, r2, N, n0inv, w);
+        fq2_enc(Y[0], Y[1], y + off, r2, N, n0inv, w);
+        fq2_enc(Z[0], Z[1], z + off, r2, N, n0inv, w);
+        fq2_mul_one(ysq[0], ysq[1], Y[0], Y[1], Y[0], Y[1], c0m, N, n0inv, w);
+        fq2_mul_one(s[0], s[1], X[0], X[1], ysq[0], ysq[1], c0m, N, n0inv, w);
+        fq2_add2(s[0], s[1], s[0], s[1], s[0], s[1], N, w);
+        fq2_add2(s[0], s[1], s[0], s[1], s[0], s[1], N, w);
+        fq2_mul_one(m[0], m[1], X[0], X[1], X[0], X[1], c0m, N, n0inv, w);
+        fq2_add2(t[0], t[1], m[0], m[1], m[0], m[1], N, w);
+        fq2_add2(m[0], m[1], m[0], m[1], t[0], t[1], N, w);
+        if (am) {
+            fq2_mul_one(t[0], t[1], Z[0], Z[1], Z[0], Z[1], c0m, N, n0inv, w);
+            fq2_mul_one(t[0], t[1], t[0], t[1], t[0], t[1], c0m, N, n0inv, w);
+            fq2_mul_one(t[0], t[1], t[0], t[1], am, am + w, c0m, N, n0inv, w);
+            fq2_add2(m[0], m[1], m[0], m[1], t[0], t[1], N, w);
+        }
+        fq2_mul_one(t[0], t[1], m[0], m[1], m[0], m[1], c0m, N, n0inv, w);
+        fq2_add2(u[0], u[1], s[0], s[1], s[0], s[1], N, w);
+        fq2_sub2(t[0], t[1], t[0], t[1], u[0], u[1], N, w);
+        fq2_sub2(u[0], u[1], s[0], s[1], t[0], t[1], N, w);
+        fq2_mul_one(u[0], u[1], m[0], m[1], u[0], u[1], c0m, N, n0inv, w);
+        fq2_mul_one(ysq[0], ysq[1], ysq[0], ysq[1], ysq[0], ysq[1],
+                    c0m, N, n0inv, w);
+        fq2_add2(ysq[0], ysq[1], ysq[0], ysq[1], ysq[0], ysq[1], N, w);
+        fq2_add2(ysq[0], ysq[1], ysq[0], ysq[1], ysq[0], ysq[1], N, w);
+        fq2_add2(ysq[0], ysq[1], ysq[0], ysq[1], ysq[0], ysq[1], N, w);
+        fq2_sub2(u[0], u[1], u[0], u[1], ysq[0], ysq[1], N, w);
+        fq2_mul_one(Y[0], Y[1], Y[0], Y[1], Z[0], Z[1], c0m, N, n0inv, w);
+        fq2_add2(Y[0], Y[1], Y[0], Y[1], Y[0], Y[1], N, w);
+        fq2_dec(ox + off, t[0], t[1], N, n0inv, w);
+        fq2_dec(oy + off, u[0], u[1], N, n0inv, w);
+        fq2_dec(oz + off, Y[0], Y[1], N, n0inv, w);
+    }
+}
+
+void jac_add_fq2(uint64_t *ox, uint64_t *oy, uint64_t *oz,
+                 uint64_t *oh, uint64_t *orr,
+                 const uint64_t *x1, const uint64_t *y1, const uint64_t *z1,
+                 const uint64_t *x2, const uint64_t *y2, const uint64_t *z2,
+                 size_t n, const uint64_t *c0m, const uint64_t *r2,
+                 const uint64_t *N, uint64_t n0inv, int w)
+{
+    uint64_t X1[2][32], Y1[2][32], Z1[2][32], X2[2][32], Y2[2][32], Z2[2][32];
+    uint64_t z1q[2][32], z2q[2][32], u1[2][32], s1[2][32], h[2][32], r[2][32];
+    uint64_t t[2][32], u[2][32];
+    for (size_t k = 0; k < n; k++) {
+        size_t off = k * 2 * w;
+        fq2_enc(X1[0], X1[1], x1 + off, r2, N, n0inv, w);
+        fq2_enc(Y1[0], Y1[1], y1 + off, r2, N, n0inv, w);
+        fq2_enc(Z1[0], Z1[1], z1 + off, r2, N, n0inv, w);
+        fq2_enc(X2[0], X2[1], x2 + off, r2, N, n0inv, w);
+        fq2_enc(Y2[0], Y2[1], y2 + off, r2, N, n0inv, w);
+        fq2_enc(Z2[0], Z2[1], z2 + off, r2, N, n0inv, w);
+        fq2_mul_one(z1q[0], z1q[1], Z1[0], Z1[1], Z1[0], Z1[1], c0m, N, n0inv, w);
+        fq2_mul_one(z2q[0], z2q[1], Z2[0], Z2[1], Z2[0], Z2[1], c0m, N, n0inv, w);
+        fq2_mul_one(u1[0], u1[1], X1[0], X1[1], z2q[0], z2q[1], c0m, N, n0inv, w);
+        fq2_mul_one(t[0], t[1], X2[0], X2[1], z1q[0], z1q[1], c0m, N, n0inv, w);
+        fq2_sub2(h[0], h[1], t[0], t[1], u1[0], u1[1], N, w);
+        fq2_mul_one(u[0], u[1], z2q[0], z2q[1], Z2[0], Z2[1], c0m, N, n0inv, w);
+        fq2_mul_one(s1[0], s1[1], Y1[0], Y1[1], u[0], u[1], c0m, N, n0inv, w);
+        fq2_mul_one(u[0], u[1], z1q[0], z1q[1], Z1[0], Z1[1], c0m, N, n0inv, w);
+        fq2_mul_one(u[0], u[1], Y2[0], Y2[1], u[0], u[1], c0m, N, n0inv, w);
+        fq2_sub2(r[0], r[1], u[0], u[1], s1[0], s1[1], N, w);
+        for (int j = 0; j < w; j++) {
+            oh[off + j] = h[0][j];
+            oh[off + w + j] = h[1][j];
+            orr[off + j] = r[0][j];
+            orr[off + w + j] = r[1][j];
+        }
+        fq2_mul_one(t[0], t[1], h[0], h[1], h[0], h[1], c0m, N, n0inv, w);
+        fq2_mul_one(u1[0], u1[1], u1[0], u1[1], t[0], t[1], c0m, N, n0inv, w);
+        fq2_mul_one(t[0], t[1], t[0], t[1], h[0], h[1], c0m, N, n0inv, w);
+        fq2_mul_one(s1[0], s1[1], s1[0], s1[1], t[0], t[1], c0m, N, n0inv, w);
+        fq2_mul_one(u[0], u[1], r[0], r[1], r[0], r[1], c0m, N, n0inv, w);
+        fq2_sub2(u[0], u[1], u[0], u[1], t[0], t[1], N, w);
+        fq2_add2(t[0], t[1], u1[0], u1[1], u1[0], u1[1], N, w);
+        fq2_sub2(u[0], u[1], u[0], u[1], t[0], t[1], N, w);
+        fq2_sub2(t[0], t[1], u1[0], u1[1], u[0], u[1], N, w);
+        fq2_mul_one(t[0], t[1], r[0], r[1], t[0], t[1], c0m, N, n0inv, w);
+        fq2_sub2(t[0], t[1], t[0], t[1], s1[0], s1[1], N, w);
+        fq2_mul_one(Z1[0], Z1[1], Z1[0], Z1[1], Z2[0], Z2[1], c0m, N, n0inv, w);
+        fq2_mul_one(Z1[0], Z1[1], h[0], h[1], Z1[0], Z1[1], c0m, N, n0inv, w);
+        fq2_dec(ox + off, u[0], u[1], N, n0inv, w);
+        fq2_dec(oy + off, t[0], t[1], N, n0inv, w);
+        fq2_dec(oz + off, Z1[0], Z1[1], N, n0inv, w);
+    }
+}
+
+void jac_madd_fq2(uint64_t *ox, uint64_t *oy, uint64_t *oz,
+                  uint64_t *oh, uint64_t *orr,
+                  const uint64_t *x1, const uint64_t *y1, const uint64_t *z1,
+                  const uint64_t *x2, const uint64_t *y2,
+                  size_t n, const uint64_t *c0m, const uint64_t *r2,
+                  const uint64_t *N, uint64_t n0inv, int w)
+{
+    uint64_t X1[2][32], Y1[2][32], Z1[2][32], X2[2][32], Y2[2][32];
+    uint64_t z1q[2][32], h[2][32], r[2][32], t[2][32], u[2][32];
+    for (size_t k = 0; k < n; k++) {
+        size_t off = k * 2 * w;
+        fq2_enc(X1[0], X1[1], x1 + off, r2, N, n0inv, w);
+        fq2_enc(Y1[0], Y1[1], y1 + off, r2, N, n0inv, w);
+        fq2_enc(Z1[0], Z1[1], z1 + off, r2, N, n0inv, w);
+        fq2_enc(X2[0], X2[1], x2 + off, r2, N, n0inv, w);
+        fq2_enc(Y2[0], Y2[1], y2 + off, r2, N, n0inv, w);
+        fq2_mul_one(z1q[0], z1q[1], Z1[0], Z1[1], Z1[0], Z1[1], c0m, N, n0inv, w);
+        fq2_mul_one(t[0], t[1], X2[0], X2[1], z1q[0], z1q[1], c0m, N, n0inv, w);
+        fq2_sub2(h[0], h[1], t[0], t[1], X1[0], X1[1], N, w);
+        fq2_mul_one(u[0], u[1], z1q[0], z1q[1], Z1[0], Z1[1], c0m, N, n0inv, w);
+        fq2_mul_one(u[0], u[1], Y2[0], Y2[1], u[0], u[1], c0m, N, n0inv, w);
+        fq2_sub2(r[0], r[1], u[0], u[1], Y1[0], Y1[1], N, w);
+        for (int j = 0; j < w; j++) {
+            oh[off + j] = h[0][j];
+            oh[off + w + j] = h[1][j];
+            orr[off + j] = r[0][j];
+            orr[off + w + j] = r[1][j];
+        }
+        fq2_mul_one(t[0], t[1], h[0], h[1], h[0], h[1], c0m, N, n0inv, w);
+        fq2_mul_one(X1[0], X1[1], X1[0], X1[1], t[0], t[1], c0m, N, n0inv, w);
+        fq2_mul_one(t[0], t[1], t[0], t[1], h[0], h[1], c0m, N, n0inv, w);
+        fq2_mul_one(Y1[0], Y1[1], Y1[0], Y1[1], t[0], t[1], c0m, N, n0inv, w);
+        fq2_mul_one(u[0], u[1], r[0], r[1], r[0], r[1], c0m, N, n0inv, w);
+        fq2_sub2(u[0], u[1], u[0], u[1], t[0], t[1], N, w);
+        fq2_add2(t[0], t[1], X1[0], X1[1], X1[0], X1[1], N, w);
+        fq2_sub2(u[0], u[1], u[0], u[1], t[0], t[1], N, w);
+        fq2_sub2(t[0], t[1], X1[0], X1[1], u[0], u[1], N, w);
+        fq2_mul_one(t[0], t[1], r[0], r[1], t[0], t[1], c0m, N, n0inv, w);
+        fq2_sub2(t[0], t[1], t[0], t[1], Y1[0], Y1[1], N, w);
+        fq2_mul_one(Z1[0], Z1[1], h[0], h[1], Z1[0], Z1[1], c0m, N, n0inv, w);
+        fq2_dec(ox + off, u[0], u[1], N, n0inv, w);
+        fq2_dec(oy + off, t[0], t[1], N, n0inv, w);
+        fq2_dec(oz + off, Z1[0], Z1[1], N, n0inv, w);
+    }
+}
 """
 
 # module-level load state: None = not attempted, False = unavailable
@@ -394,6 +766,60 @@ def _cache_dir(digest: str) -> str:
     return os.path.join(cache_base_dir(), digest)
 
 
+#: cap on retained per-digest kernel dirs (``REPRO_NATIVE_CACHE_MAX_DIRS``)
+CACHE_MAX_DIRS_ENV_VAR = "REPRO_NATIVE_CACHE_MAX_DIRS"
+DEFAULT_CACHE_MAX_DIRS = 8
+
+
+def _cache_max_dirs() -> int:
+    raw = os.environ.get(CACHE_MAX_DIRS_ENV_VAR, "")
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = DEFAULT_CACHE_MAX_DIRS
+    return max(1, cap)
+
+
+def _prune_cache(current_digest: str) -> None:
+    """LRU-prune stale per-digest kernel dirs after publishing a fresh
+    build. Every source edit mints a new digest dir, so a long-lived
+    persistent cache (CI runners pointing ``REPRO_NATIVE_CACHE`` at a
+    shared volume) accumulates dead kernels forever without a cap. Only
+    16-hex-char digest dirs are candidates — the ``autotune/`` profile
+    dir and anything user-placed is never touched — and the current
+    digest always survives. Oldest-mtime dirs go first; failures are
+    ignored (a racing reader may hold a dir open)."""
+    base = cache_base_dir()
+    try:
+        names = os.listdir(base)
+    except OSError:
+        return
+    digests = [
+        d for d in names
+        if d != current_digest and len(d) == 16
+        and all(c in "0123456789abcdef" for c in d)
+        and os.path.isdir(os.path.join(base, d))
+    ]
+    keep = _cache_max_dirs() - 1  # the slot the current digest occupies
+    if len(digests) <= keep:
+        return
+
+    def _mtime(name: str) -> float:
+        try:
+            return os.path.getmtime(os.path.join(base, name))
+        except OSError:
+            return 0.0
+
+    digests.sort(key=_mtime)
+    stale = digests[:len(digests) - keep]
+    for name in stale:
+        shutil.rmtree(os.path.join(base, name), ignore_errors=True)
+    _record_event("native-kernel-cache-prune",
+                  f"pruned {len(stale)} stale kernel dir(s) "
+                  f"(cap {_cache_max_dirs()})",
+                  removed=stale, cap=_cache_max_dirs())
+
+
 def _compile(cdir: str, sopath: str) -> bool:
     """Build the kernels into ``sopath``. The source and the shared
     object are both staged as pid-unique temp files and published with
@@ -441,6 +867,7 @@ def _compile(cdir: str, sopath: str) -> bool:
         # the object; both atomic, so racers only see complete files.
         os.replace(tmp_c, cpath)
         os.replace(tmp_so, sopath)
+        _prune_cache(os.path.basename(cdir))
     except (subprocess.SubprocessError, OSError) as exc:
         _record_event("native-kernel-compile-failed", str(exc),
                       compiler=compiler, stderr="")
@@ -484,6 +911,25 @@ def _bind(lib) -> None:
     lib.mont_batch_inv_back.argtypes = [ptr, ptr, ptr, ptr, size, ptr,
                                         u64, i32]
     lib.mont_batch_inv_back.restype = None
+    lib.jac_dbl_fp.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr, size, ptr,
+                               ptr, ptr, u64, i32]
+    lib.jac_dbl_fp.restype = None
+    lib.jac_add_fp.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+                               ptr, ptr, ptr, size, ptr, ptr, u64, i32]
+    lib.jac_add_fp.restype = None
+    lib.jac_madd_fp.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+                                ptr, ptr, size, ptr, ptr, u64, i32]
+    lib.jac_madd_fp.restype = None
+    lib.jac_dbl_fq2.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr, size, ptr,
+                                ptr, ptr, ptr, u64, i32]
+    lib.jac_dbl_fq2.restype = None
+    lib.jac_add_fq2.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+                                ptr, ptr, ptr, size, ptr, ptr, ptr, u64,
+                                i32]
+    lib.jac_add_fq2.restype = None
+    lib.jac_madd_fq2.argtypes = [ptr, ptr, ptr, ptr, ptr, ptr, ptr, ptr,
+                                 ptr, ptr, size, ptr, ptr, ptr, u64, i32]
+    lib.jac_madd_fq2.restype = None
 
 
 def _compile_and_load():
@@ -819,6 +1265,110 @@ class NativeField:
                                      self._n_words.ctypes.data,
                                      self.n0inv, self.w)
         return out
+
+    # -- batched Jacobian point kernels over raw rows ---------------------------
+    #
+    # All six take and return *raw* canonical (n, w) — Fq2: (n, 2w) —
+    # word rows; the Montgomery encode/decode is fused into the C
+    # kernels, and the add/mixed variants also return the Montgomery
+    # h/r planes for the caller's special-lane zero tests.
+
+    @staticmethod
+    def _opt_ptr(row: Optional["_np.ndarray"]):
+        return row.ctypes.data if row is not None else None
+
+    def jac_dbl(self, x, y, z, a_row=None):
+        x, y, z = self._prep(x), self._prep(y), self._prep(z)
+        ox = _np.empty_like(x)
+        oy = _np.empty_like(x)
+        oz = _np.empty_like(x)
+        self.lib.jac_dbl_fp(
+            ox.ctypes.data, oy.ctypes.data, oz.ctypes.data,
+            x.ctypes.data, y.ctypes.data, z.ctypes.data, x.shape[0],
+            self._opt_ptr(a_row), self._r2_words.ctypes.data,
+            self._n_words.ctypes.data, self.n0inv, self.w)
+        return ox, oy, oz
+
+    def jac_add(self, x1, y1, z1, x2, y2, z2):
+        x1, y1, z1 = self._prep(x1), self._prep(y1), self._prep(z1)
+        x2, y2, z2 = self._prep(x2), self._prep(y2), self._prep(z2)
+        ox = _np.empty_like(x1)
+        oy = _np.empty_like(x1)
+        oz = _np.empty_like(x1)
+        oh = _np.empty_like(x1)
+        orr = _np.empty_like(x1)
+        self.lib.jac_add_fp(
+            ox.ctypes.data, oy.ctypes.data, oz.ctypes.data,
+            oh.ctypes.data, orr.ctypes.data,
+            x1.ctypes.data, y1.ctypes.data, z1.ctypes.data,
+            x2.ctypes.data, y2.ctypes.data, z2.ctypes.data, x1.shape[0],
+            self._r2_words.ctypes.data, self._n_words.ctypes.data,
+            self.n0inv, self.w)
+        return ox, oy, oz, oh, orr
+
+    def jac_madd(self, x1, y1, z1, x2, y2):
+        x1, y1, z1 = self._prep(x1), self._prep(y1), self._prep(z1)
+        x2, y2 = self._prep(x2), self._prep(y2)
+        ox = _np.empty_like(x1)
+        oy = _np.empty_like(x1)
+        oz = _np.empty_like(x1)
+        oh = _np.empty_like(x1)
+        orr = _np.empty_like(x1)
+        self.lib.jac_madd_fp(
+            ox.ctypes.data, oy.ctypes.data, oz.ctypes.data,
+            oh.ctypes.data, orr.ctypes.data,
+            x1.ctypes.data, y1.ctypes.data, z1.ctypes.data,
+            x2.ctypes.data, y2.ctypes.data, x1.shape[0],
+            self._r2_words.ctypes.data, self._n_words.ctypes.data,
+            self.n0inv, self.w)
+        return ox, oy, oz, oh, orr
+
+    def jac2_dbl(self, x, y, z, a_row=None, c0_row=None):
+        x, y, z = self._prep(x), self._prep(y), self._prep(z)
+        ox = _np.empty_like(x)
+        oy = _np.empty_like(x)
+        oz = _np.empty_like(x)
+        self.lib.jac_dbl_fq2(
+            ox.ctypes.data, oy.ctypes.data, oz.ctypes.data,
+            x.ctypes.data, y.ctypes.data, z.ctypes.data, x.shape[0],
+            self._opt_ptr(a_row), self._opt_ptr(c0_row),
+            self._r2_words.ctypes.data, self._n_words.ctypes.data,
+            self.n0inv, self.w)
+        return ox, oy, oz
+
+    def jac2_add(self, x1, y1, z1, x2, y2, z2, c0_row=None):
+        x1, y1, z1 = self._prep(x1), self._prep(y1), self._prep(z1)
+        x2, y2, z2 = self._prep(x2), self._prep(y2), self._prep(z2)
+        ox = _np.empty_like(x1)
+        oy = _np.empty_like(x1)
+        oz = _np.empty_like(x1)
+        oh = _np.empty_like(x1)
+        orr = _np.empty_like(x1)
+        self.lib.jac_add_fq2(
+            ox.ctypes.data, oy.ctypes.data, oz.ctypes.data,
+            oh.ctypes.data, orr.ctypes.data,
+            x1.ctypes.data, y1.ctypes.data, z1.ctypes.data,
+            x2.ctypes.data, y2.ctypes.data, z2.ctypes.data, x1.shape[0],
+            self._opt_ptr(c0_row), self._r2_words.ctypes.data,
+            self._n_words.ctypes.data, self.n0inv, self.w)
+        return ox, oy, oz, oh, orr
+
+    def jac2_madd(self, x1, y1, z1, x2, y2, c0_row=None):
+        x1, y1, z1 = self._prep(x1), self._prep(y1), self._prep(z1)
+        x2, y2 = self._prep(x2), self._prep(y2)
+        ox = _np.empty_like(x1)
+        oy = _np.empty_like(x1)
+        oz = _np.empty_like(x1)
+        oh = _np.empty_like(x1)
+        orr = _np.empty_like(x1)
+        self.lib.jac_madd_fq2(
+            ox.ctypes.data, oy.ctypes.data, oz.ctypes.data,
+            oh.ctypes.data, orr.ctypes.data,
+            x1.ctypes.data, y1.ctypes.data, z1.ctypes.data,
+            x2.ctypes.data, y2.ctypes.data, x1.shape[0],
+            self._opt_ptr(c0_row), self._r2_words.ctypes.data,
+            self._n_words.ctypes.data, self.n0inv, self.w)
+        return ox, oy, oz, oh, orr
 
     # -- NTT / pointwise over raw rows ------------------------------------------
 

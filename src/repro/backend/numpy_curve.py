@@ -4,18 +4,25 @@ Two engines live here, split by what each is for:
 
 * **Batch Jacobian kernels** (:func:`batch_jdouble`, :func:`batch_jadd`,
   :func:`batch_jmixed_add`) run the *same* formulas as
-  :class:`~repro.curves.weierstrass.CurveGroup` as whole-row limb
-  operations over the base-2^22 engine of
-  :mod:`repro.backend.numpy_limb`: coordinates become (LG, n) int64 limb
-  matrices, every field multiply is one lazily-reduced schoolbook pass
-  over all lanes, and canonicalization happens once at egress — so the
-  results are bit-identical to the scalar path. Special cases (infinity,
-  P == Q -> double, P == -Q -> infinity) are detected per lane — input
-  coordinates are canonical Python ints, so z == 0 / y == 0 / q is None
-  are free; the computed comparisons (u1 == u2, s1 == s2) are exact
-  because egress canonicalizes before testing — and those rare lanes are
-  patched with the self-counting scalar formulas, keeping op-count
-  parity exact.
+  :class:`~repro.curves.weierstrass.CurveGroup` over struct-of-arrays
+  lanes. The preferred engine is the runtime-compiled C layer of
+  :mod:`repro.backend.native`: raw canonical word rows go straight into
+  fused Jacobian kernels (Montgomery encode -> formula -> decode all
+  in-kernel, G1 prime-field lanes and G2 Fq2 Karatsuba lanes), which
+  return bit-identical coordinates plus the Montgomery h/r planes whose
+  zero tests route the special lanes. When the native kernels are
+  unavailable (``REPRO_NATIVE=0``, no compiler, over-wide modulus), G1
+  falls back to the base-2^22 int64 limb engine of
+  :mod:`repro.backend.numpy_limb` below — coordinates become (LG, n)
+  int64 limb matrices, every field multiply is one lazily-reduced
+  schoolbook pass over all lanes, canonicalization happens once at
+  egress — and G2 falls back to the scalar loop. Special cases
+  (infinity, P == Q -> double, P == -Q -> infinity) are detected per
+  lane — input coordinates are canonical, so z == 0 / y == 0 / q is
+  None are free; the computed comparisons (u1 == u2, s1 == s2) are
+  exact because both engines canonicalize before testing — and those
+  rare lanes are patched with the self-counting scalar formulas,
+  keeping op-count parity exact on every path.
 
 * **Segmented bucket reduction** (:func:`accumulate_buckets_segmented`)
   replaces the ordered per-entry fold of bucket accumulation with a
@@ -42,6 +49,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backend import coverage as _coverage
 from repro.backend.native import get_native_field
 from repro.backend.numpy_limb import (
     LIMB_BITS,
@@ -61,6 +69,7 @@ __all__ = [
     "MIN_VECTOR_LANES",
     "SEGMENTED_MIN_ENTRIES",
     "supports_group",
+    "native_point_op_muls",
     "batch_jdouble",
     "batch_jadd",
     "batch_jmixed_add",
@@ -79,10 +88,21 @@ _HALF_I = 1 << (LIMB_BITS - 1)
 
 
 def supports_group(group) -> bool:
-    """True when the batch Jacobian kernels can vectorize this group
-    (prime-field coordinates; G2 extension lanes go through the
-    segmented tree only)."""
-    return _np is not None and isinstance(group.ops, IntFieldOps)
+    """True when the batch Jacobian kernels can vectorize this group:
+    prime-field coordinates always (native kernels, else the int64 limb
+    engine), Fq2 = Fq[i]/(i^2 + c0) extension lanes when the native
+    kernels are loaded (the limb engine has no extension arithmetic, so
+    G2 without native falls back to the scalar loop)."""
+    if _np is None:
+        return False
+    o = group.ops
+    if isinstance(o, IntFieldOps):
+        return True
+    if isinstance(o, ExtFieldOps):
+        f = o.field
+        return (f.degree == 2 and f.modulus_coeffs[1] == 0
+                and get_native_field(f.base.modulus) is not None)
+    return False
 
 
 # -- int64 limb-vector field (SoA lanes for the Jacobian kernels) --------------
@@ -239,27 +259,204 @@ def _vec_field(modulus: int) -> _VecField:
     return vf
 
 
-# -- batch Jacobian kernels (G1) ----------------------------------------------
+# -- native Jacobian engines (raw rows in, raw rows out) -----------------------
+
+
+class _JacNativeG1:
+    """Prime-field Jacobian lanes over the fused native kernels: raw
+    canonical int coordinates in, raw canonical ints out. Montgomery
+    encode/decode happens *inside* the C kernels, so the Python side
+    only packs/unpacks word rows; the add variants also return the
+    h/r zero masks for the caller's special-lane routing."""
+
+    def __init__(self, group, nf):
+        self.group = group
+        self.nf = nf
+        consts = group.formula_constants()
+        self._a_row = (None if consts["a_is_zero"]
+                       else nf.encode_const(consts["a"]))
+
+    def _rows(self, vals):
+        return self.nf.words_from_ints(vals)
+
+    def _ints(self, arr):
+        return self.nf.ints_from_words(arr)
+
+    def jdouble(self, pts):
+        ox, oy, oz = self.nf.jac_dbl(
+            self._rows([p[0] for p in pts]),
+            self._rows([p[1] for p in pts]),
+            self._rows([p[2] for p in pts]), self._a_row)
+        return self._ints(ox), self._ints(oy), self._ints(oz)
+
+    def jadd(self, ps, qs):
+        nf = self.nf
+        ox, oy, oz, oh, orr = nf.jac_add(
+            self._rows([p[0] for p in ps]),
+            self._rows([p[1] for p in ps]),
+            self._rows([p[2] for p in ps]),
+            self._rows([q[0] for q in qs]),
+            self._rows([q[1] for q in qs]),
+            self._rows([q[2] for q in qs]))
+        return (self._ints(ox), self._ints(oy), self._ints(oz),
+                nf.is_zero(oh), nf.is_zero(orr))
+
+    def jmadd(self, ps, qs):
+        nf = self.nf
+        ox, oy, oz, oh, orr = nf.jac_madd(
+            self._rows([p[0] for p in ps]),
+            self._rows([p[1] for p in ps]),
+            self._rows([p[2] for p in ps]),
+            self._rows([q[0] for q in qs]),
+            self._rows([q[1] for q in qs]))
+        return (self._ints(ox), self._ints(oy), self._ints(oz),
+                nf.is_zero(oh), nf.is_zero(orr))
+
+
+class _JacNativeFq2:
+    """Fq2 = Fq[i]/(i^2 + c0) Jacobian lanes: packed (n, 2w) word rows
+    ([c0 words | c1 words] per lane) through the Karatsuba fq2 kernels.
+    Same raw-in/raw-out contract as :class:`_JacNativeG1`."""
+
+    def __init__(self, group, nf):
+        self.group = group
+        self.nf = nf
+        self.field = group.ops.field
+        c0 = self.field.modulus_coeffs[0]
+        self._c0_row = None if c0 == 1 else nf.encode_const(c0)
+        consts = group.formula_constants()
+        if consts["a_is_zero"]:
+            self._a_row = None
+        else:
+            a0, a1 = consts["a"].coeffs
+            self._a_row = _np.ascontiguousarray(
+                _np.concatenate([nf.encode_const(a0), nf.encode_const(a1)]))
+
+    def _rows(self, vals):
+        nf = self.nf
+        return _np.ascontiguousarray(_np.concatenate(
+            [nf.words_from_ints([v.coeffs[0] for v in vals]),
+             nf.words_from_ints([v.coeffs[1] for v in vals])], axis=1))
+
+    def _elems(self, arr):
+        nf, w = self.nf, self.nf.w
+        c0s = nf.ints_from_words(_np.ascontiguousarray(arr[:, :w]))
+        c1s = nf.ints_from_words(_np.ascontiguousarray(arr[:, w:]))
+        element = self.field.element
+        return [element([a, b]) for a, b in zip(c0s, c1s)]
+
+    def jdouble(self, pts):
+        ox, oy, oz = self.nf.jac2_dbl(
+            self._rows([p[0] for p in pts]),
+            self._rows([p[1] for p in pts]),
+            self._rows([p[2] for p in pts]), self._a_row, self._c0_row)
+        return self._elems(ox), self._elems(oy), self._elems(oz)
+
+    def jadd(self, ps, qs):
+        nf = self.nf
+        ox, oy, oz, oh, orr = nf.jac2_add(
+            self._rows([p[0] for p in ps]),
+            self._rows([p[1] for p in ps]),
+            self._rows([p[2] for p in ps]),
+            self._rows([q[0] for q in qs]),
+            self._rows([q[1] for q in qs]),
+            self._rows([q[2] for q in qs]), self._c0_row)
+        return (self._elems(ox), self._elems(oy), self._elems(oz),
+                nf.is_zero(oh), nf.is_zero(orr))
+
+    def jmadd(self, ps, qs):
+        nf = self.nf
+        ox, oy, oz, oh, orr = nf.jac2_madd(
+            self._rows([p[0] for p in ps]),
+            self._rows([p[1] for p in ps]),
+            self._rows([p[2] for p in ps]),
+            self._rows([q[0] for q in qs]),
+            self._rows([q[1] for q in qs]), self._c0_row)
+        return (self._elems(ox), self._elems(oy), self._elems(oz),
+                nf.is_zero(oh), nf.is_zero(orr))
+
+
+def _jac_engine(group):
+    """The native Jacobian lane engine for this group, or None when
+    the compiled kernels cannot serve it (callers then fall back to
+    the int64 limb engine for G1, the scalar loop for G2)."""
+    o = group.ops
+    if isinstance(o, IntFieldOps):
+        nf = get_native_field(o.field.modulus)
+        return None if nf is None else _JacNativeG1(group, nf)
+    if isinstance(o, ExtFieldOps):
+        f = o.field
+        if f.degree != 2 or f.modulus_coeffs[1] != 0:
+            return None
+        nf = get_native_field(f.base.modulus)
+        return None if nf is None else _JacNativeFq2(group, nf)
+    return None
+
+
+def native_point_op_muls(group) -> Optional[Dict[str, int]]:
+    """Base-field-mul cost per point op on the native Jacobian floor —
+    the formula muls plus the fused encode/decode conversions each
+    kernel performs — or None when this group cannot run native. The
+    autotuner prices its (k, M) search with these so the knee reflects
+    the kernels the pipeline actually runs; every (k, M) choice is
+    bit-identity-preserving, so this shifts only throughput."""
+    if _jac_engine(group) is None:
+        return None
+    consts = group.formula_constants()
+    dbl_extra = 0 if consts["a_is_zero"] else 3  # z^2, (z^2)^2, *a
+    return {
+        # conversions: jdouble encodes 3 rows + decodes 3; jadd 6 + 3;
+        # jmixed 5 + 3 (counting per coordinate row, Fq2 scales by the
+        # engine's existing fq_mul_factor)
+        "pdbl": consts["pdbl_fq_muls"] + dbl_extra + 6,
+        "padd": consts["padd_fq_muls"] + 9,
+        "pmixed": consts["pmixed_fq_muls"] + 8,
+    }
+
+
+# -- batch Jacobian kernels ----------------------------------------------------
 
 
 def batch_jdouble(group, points: Sequence) -> List:
     """SoA doubling of every point; bit-identical to
     ``[group.jdouble(p) for p in points]`` including op counts."""
     o = group.ops
-    consts = group.formula_constants()
     results: List = [None] * len(points)
     act: List[int] = []
     for i, (_x, y, z) in enumerate(points):
-        if z == 0 or y == 0:
-            results[i] = (1, 1, 0)  # scalar early return: no counts
+        if o.is_zero(z) or o.is_zero(y):
+            results[i] = (o.one, o.one, o.zero)  # scalar early return: no counts
         else:
             act.append(i)
     if not act:
         return results
-    vf = _vec_field(o.field.modulus)
-    X = vf.from_ints([points[i][0] for i in act])
-    Y = vf.from_ints([points[i][1] for i in act])
-    Z = vf.from_ints([points[i][2] for i in act])
+    eng = _jac_engine(group)
+    if eng is not None:
+        _coverage.note("jacobian", "native")
+        xi, yi, zi = eng.jdouble([points[i] for i in act])
+    else:
+        _coverage.note("jacobian", "fallback")
+        if not isinstance(o, IntFieldOps):
+            # extension lanes have no limb fallback: scalar loop
+            # (self-counting, so return before the batch counts below)
+            for i in act:
+                results[i] = group.jdouble(points[i])
+            return results
+        xi, yi, zi = _vec_jdouble(group, [points[i] for i in act])
+    for k, i in enumerate(act):
+        results[i] = (xi[k], yi[k], zi[k])
+    group._count("pdbl", len(act))
+    group._count("padd", len(act))  # scalar jdouble counts both
+    return results
+
+
+def _vec_jdouble(group, pts: Sequence):
+    """The int64 limb-engine doubling body (G1 fallback path)."""
+    consts = group.formula_constants()
+    vf = _vec_field(group.ops.field.modulus)
+    X = vf.from_ints([p[0] for p in pts])
+    Y = vf.from_ints([p[1] for p in pts])
+    Z = vf.from_ints([p[2] for p in pts])
     ysq = vf.mul(Y, Y)
     s = vf.mul_small(vf.mul(X, ysq), 4)
     if consts["a_is_zero"]:
@@ -273,12 +470,26 @@ def batch_jdouble(group, points: Sequence) -> List:
     x3 = vf.sub(vf.mul(m, m), vf.mul_small(s, 2))
     y3 = vf.sub(vf.mul(m, vf.sub(s, x3)), vf.mul_small(vf.mul(ysq, ysq), 8))
     z3 = vf.mul_small(vf.mul(Y, Z), 2)
-    xi, yi, zi = vf.to_ints(x3), vf.to_ints(y3), vf.to_ints(z3)
+    return vf.to_ints(x3), vf.to_ints(y3), vf.to_ints(z3)
+
+
+def _patch_masked_lanes(group, results, act, ps, xi, yi, zi, hz, rz):
+    """Write back native add/mixed-add outputs, routing the masked
+    special lanes exactly like the scalar formulas: h == 0 and r == 0
+    is P == Q (the self-counting double), h == 0 alone is P == -Q
+    (infinity, count-free). Returns the normal-lane count."""
+    o = group.ops
+    n_normal = 0
     for k, i in enumerate(act):
-        results[i] = (xi[k], yi[k], zi[k])
-    group._count("pdbl", len(act))
-    group._count("padd", len(act))  # scalar jdouble counts both
-    return results
+        if hz[k]:
+            if rz[k]:
+                results[i] = group.jdouble(ps[i])  # counts pdbl + padd
+            else:
+                results[i] = (o.one, o.one, o.zero)  # P + (-P): no counts
+        else:
+            results[i] = (xi[k], yi[k], zi[k])
+            n_normal += 1
+    return n_normal
 
 
 def batch_jadd(group, ps: Sequence, qs: Sequence) -> List:
@@ -290,13 +501,27 @@ def batch_jadd(group, ps: Sequence, qs: Sequence) -> List:
     results: List = [None] * n
     act: List[int] = []
     for i in range(n):
-        if ps[i][2] == 0:
+        if o.is_zero(ps[i][2]):
             results[i] = qs[i]
-        elif qs[i][2] == 0:
+        elif o.is_zero(qs[i][2]):
             results[i] = ps[i]
         else:
             act.append(i)
     if not act:
+        return results
+    eng = _jac_engine(group)
+    if eng is not None:
+        _coverage.note("jacobian", "native")
+        xi, yi, zi, hz, rz = eng.jadd([ps[i] for i in act],
+                                      [qs[i] for i in act])
+        n_normal = _patch_masked_lanes(group, results, act, ps,
+                                       xi, yi, zi, hz, rz)
+        group._count("padd", n_normal)
+        return results
+    _coverage.note("jacobian", "fallback")
+    if not isinstance(o, IntFieldOps):
+        for i in act:
+            results[i] = group.jadd(ps[i], qs[i])  # self-counting
         return results
     vf = _vec_field(o.field.modulus)
     X1 = vf.from_ints([ps[i][0] for i in act])
@@ -351,11 +576,25 @@ def batch_jmixed_add(group, ps: Sequence, qs: Sequence) -> List:
     for i in range(n):
         if qs[i] is None:
             results[i] = ps[i]
-        elif ps[i][2] == 0:
+        elif o.is_zero(ps[i][2]):
             results[i] = group.to_jacobian(qs[i])
         else:
             act.append(i)
     if not act:
+        return results
+    eng = _jac_engine(group)
+    if eng is not None:
+        _coverage.note("jacobian", "native")
+        xi, yi, zi, hz, rz = eng.jmadd([ps[i] for i in act],
+                                       [qs[i] for i in act])
+        n_normal = _patch_masked_lanes(group, results, act, ps,
+                                       xi, yi, zi, hz, rz)
+        group._count("padd", n_normal)
+        return results
+    _coverage.note("jacobian", "fallback")
+    if not isinstance(o, IntFieldOps):
+        for i in act:
+            results[i] = group.jmixed_add(ps[i], qs[i])  # self-counting
         return results
     vf = _vec_field(o.field.modulus)
     X1 = vf.from_ints([ps[i][0] for i in act])

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backend import coverage as _coverage
 from repro.backend.base import ComputeBackend
 from repro.backend.native import get_native_field
 
@@ -362,7 +363,9 @@ class NumpyLimbBackend(ComputeBackend):
             # Native Stockham sweep: same pass structure and twiddle
             # table as the limb-matrix path, canonical ints out — the
             # counts above already cover it.
+            _coverage.note("ntt", "native")
             return nf.ntt_ints(field, a, omega)
+        _coverage.note("ntt", "fallback")
         return _stockham_ntt(field, a, omega)
 
     def intt(self, field, values: Sequence[int], counter=None) -> List[int]:
@@ -394,6 +397,7 @@ class NumpyLimbBackend(ComputeBackend):
         if nf is not None:
             # Raw rows times the cached Montgomery ladder: one CIOS mul
             # per element, ladder built by one sequential C sweep.
+            _coverage.note("pointwise", "native")
             return nf.vmul_powers_ints([x % p for x in xs], g)
         key = (p, g)
         pows = _POWER_LADDERS.get(key)
@@ -414,8 +418,10 @@ class NumpyLimbBackend(ComputeBackend):
         if nf is not None:
             # Two batched CIOS muls (x*y*R^-1, then fold by R^2): no
             # limb-matrix traffic, no per-element Python egress.
+            _coverage.note("pointwise", "native")
             return nf.vmul_ints([x % p for x in xs],
                                 [y % p for y in ys])
+        _coverage.note("pointwise", "fallback")
         geom = _geometry(field.modulus)
         a = _ints_to_limbs(geom, [x % p for x in xs])
         b = _ints_to_limbs(geom, [y % p for y in ys])
@@ -437,7 +443,9 @@ class NumpyLimbBackend(ComputeBackend):
             nf = get_native_field(field.modulus)
             if nf is not None:
                 p = field.modulus
+                _coverage.note("pointwise", "native")
                 return nf.vscale_ints([x % p for x in xs], k)
+            _coverage.note("pointwise", "fallback")
         return super().vscale(field, xs, k)
 
     # -- scalar front-end -------------------------------------------------------
@@ -490,22 +498,28 @@ class NumpyLimbBackend(ComputeBackend):
     def batch_jdouble(self, group, points: Sequence) -> List:
         from repro.backend import numpy_curve as _nc
 
-        if len(points) >= _nc.MIN_VECTOR_LANES and _nc.supports_group(group):
-            return _nc.batch_jdouble(group, points)
+        if len(points) >= _nc.MIN_VECTOR_LANES:
+            if _nc.supports_group(group):
+                return _nc.batch_jdouble(group, points)
+            _coverage.note("jacobian", "fallback")
         return super().batch_jdouble(group, points)
 
     def batch_jadd(self, group, ps: Sequence, qs: Sequence) -> List:
         from repro.backend import numpy_curve as _nc
 
-        if len(ps) >= _nc.MIN_VECTOR_LANES and _nc.supports_group(group):
-            return _nc.batch_jadd(group, ps, qs)
+        if len(ps) >= _nc.MIN_VECTOR_LANES:
+            if _nc.supports_group(group):
+                return _nc.batch_jadd(group, ps, qs)
+            _coverage.note("jacobian", "fallback")
         return super().batch_jadd(group, ps, qs)
 
     def batch_jmixed_add(self, group, ps: Sequence, qs: Sequence) -> List:
         from repro.backend import numpy_curve as _nc
 
-        if len(ps) >= _nc.MIN_VECTOR_LANES and _nc.supports_group(group):
-            return _nc.batch_jmixed_add(group, ps, qs)
+        if len(ps) >= _nc.MIN_VECTOR_LANES:
+            if _nc.supports_group(group):
+                return _nc.batch_jmixed_add(group, ps, qs)
+            _coverage.note("jacobian", "fallback")
         return super().batch_jmixed_add(group, ps, qs)
 
     def accumulate_buckets(self, group, buckets: List, entries) -> List:
@@ -514,6 +528,7 @@ class NumpyLimbBackend(ComputeBackend):
         out = _nc.accumulate_buckets_segmented(group, buckets, entries)
         if out is None:  # too small / unsupported field / no native kernels
             return super().accumulate_buckets(group, buckets, entries)
+        _coverage.note("jacobian", "native")
         return out
 
     def bucket_reduce(self, group, buckets: Sequence):

@@ -51,9 +51,11 @@ def reset_backend_state() -> None:
     (e.g. a ``REPRO_NATIVE=0`` override) is honoured from scratch."""
     import repro.backend as backend_mod
     import repro.backend.native as native_mod
+    from repro.backend import coverage
 
     backend_mod._INSTANCES.clear()
     native_mod.reset_native()
+    coverage.reset()
 
 
 def resolve_backend(requested: Optional[str],
@@ -290,8 +292,10 @@ def execute_job(task: dict, state: WorkerState,
     """Run one job end to end: context lookup/build, prove (POLY +
     MSMs), optional inline verify, serialize — one telemetry span
     tree."""
+    from repro.backend import coverage as _coverage
     from repro.snark.serialize import serialize_proof
 
+    _coverage.reset()  # per-job tally; anything older is another job's
     telemetry = Telemetry()
     result = {
         "ticket": task.get("ticket", 0),
@@ -340,6 +344,12 @@ def execute_job(task: dict, state: WorkerState,
         except ReproError as exc:
             result.update(error=f"{type(exc).__name__}: {exc}",
                           error_kind="proof")
+    cov = _coverage.drain()
+    if cov:
+        # One event per job: which kernel families ran native vs
+        # fallback (counts are batched-dispatch decisions).
+        telemetry.record_event("native-coverage", _coverage.summarize(cov),
+                               **cov)
     result["telemetry"] = telemetry.to_dict()
     return result
 

@@ -26,8 +26,8 @@ BN254_R = SCALAR_FIELDS["ALT-BN128"].modulus
 
 def test_certify_all_passes_at_head():
     certs = certify_all()
-    # 4 families x 6 distinct moduli (Fr + Fq of three curves)
-    assert len(certs) == 24
+    # 5 families x 6 distinct moduli (Fr + Fq of three curves)
+    assert len(certs) == 30
     bad = [(c.family, c.modulus_name, [v.name for v in c.violations()])
            for c in certs if not c.ok]
     assert bad == []
@@ -164,7 +164,7 @@ def test_report_json_round_trips():
     report = AnalysisReport(certificates=certify_modulus("m", BN254_R))
     data = json.loads(report.to_json())
     assert data["ok"] is True
-    assert len(data["certificates"]) == 4
+    assert len(data["certificates"]) == 5
     for cert in data["certificates"]:
         for check in cert["checks"]:
             assert check["bound"] < check["limit"]

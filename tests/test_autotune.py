@@ -25,6 +25,7 @@ def private_cache(tmp_path, monkeypatch):
 def test_msm_search_beats_or_matches_defaults(private_cache):
     """The joint (k, M) search must never model slower than the
     profiler default it replaces."""
+    from repro.backend.autotune import _native_point_muls
     from repro.gpusim import V100
     from repro.msm.gzkp import GzkpMsm
 
@@ -35,14 +36,16 @@ def test_msm_search_beats_or_matches_defaults(private_cache):
     cfg = tuner.msm_config(engine, n)
     assert cfg.window in WINDOW_RANGE
     # the profiler default fixes M = _interval_for(n, k); the joint
-    # search includes every such point, so it can only improve
+    # search includes every such point, so it can only improve --
+    # replayed under the same point-op pricing the search used
+    pm = _native_point_muls(engine)
     default_best = min(
         V100.time_of(engine._plan_with_cfg(
             n, engine._make_config(n, k, engine._interval_for(n, k)),
-            None))
+            None, point_muls=pm))
         for k in WINDOW_RANGE
     )
-    tuned = V100.time_of(engine._plan_with_cfg(n, cfg, None))
+    tuned = V100.time_of(engine._plan_with_cfg(n, cfg, None, point_muls=pm))
     assert tuned <= default_best + 1e-12
 
 
@@ -96,7 +99,7 @@ def test_tuned_cadence_is_certified(private_cache, curve_name):
     modulus = SCALAR_FIELDS[curve_name].modulus
     cadence, certs = tuner.tune_cadence(modulus, f"{curve_name}.Fr")
     assert cadence >= 2
-    assert set(certs) == {"numpy-limb", "native-mont"}
+    assert set(certs) == {"numpy-limb", "native-mont", "native-jacobian"}
     for fam, cert in certs.items():
         assert cert["ok"], fam
     # the profile-level certificate is the same machine-checked object

@@ -1,0 +1,346 @@
+"""Native fused Jacobian point kernels vs the scalar group law.
+
+The raw-domain kernels of :mod:`repro.backend.native` (``jac_dbl`` /
+``jac_add`` / ``jac_madd`` and their Fq2 twins) must be *bit-identical*
+to the scalar formulas — coordinates AND op counts — on every curve,
+through every special-lane mix the mask routing can see: infinity on
+either side, P == Q (same and different Jacobian representatives),
+P == -Q, and q is None on the mixed path. Hypothesis drives the lane
+mixes; the point pools are deterministic offset chains so a collision
+between unrelated lanes is a discrete-log event.
+
+Also here: the native-coverage counters those dispatches feed, the
+LRU prune that bounds the persistent kernel cache, and the cross-checks
+that tie the certifier's replayed mul counts to the group's formula
+constants and the autotuner's pricing.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import coverage
+from repro.backend import native
+from repro.backend import numpy_curve
+from repro.curves import CURVES
+from repro.ff.opcount import OpCounter
+
+numpy = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.skipif(
+    not native.native_available(), reason="no C compiler available")
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+CURVE_NAMES = ["ALT-BN128", "BLS12-381", "MNT4753"]
+GROUPS = [(name, "g1") for name in CURVE_NAMES] + \
+    [(name, "g2") for name in CURVE_NAMES]
+
+
+def _group(name, which):
+    pair = CURVES[name]
+    return pair.g1 if which == "g1" else pair.g2
+
+
+_POOLS = {}
+
+
+def _pool(name, which, n=24):
+    """Deterministic affine point pool P0 + k*G (pairwise independent
+    for count-parity purposes)."""
+    key = (name, which)
+    pts = _POOLS.get(key)
+    if pts is None:
+        group = _group(name, which)
+        rng = random.Random(hash(key) & 0xFFFF)
+        gen = group.generator
+        acc = group.to_jacobian(group.scalar_mul(rng.getrandbits(128), gen))
+        jpts = []
+        for _ in range(n):
+            jpts.append(acc)
+            acc = group.jmixed_add(acc, gen)
+        pts = _POOLS[key] = group.batch_normalize(jpts)
+    return pts
+
+
+def _jrep(group, pt, k):
+    """The (x k^2, y k^3, k) Jacobian representative of an affine pt."""
+    o = group.ops
+    kk = o.coerce(k)
+    k2 = o.mul(kk, kk)
+    return (o.mul(pt[0], k2), o.mul(pt[1], o.mul(k2, kk)), kk)
+
+
+def _neg(group, jp):
+    o = group.ops
+    return (jp[0], o.sub(o.coerce(0), jp[1]), jp[2])
+
+
+def _assert_parity(group, batch_fn, scalar_fn, ps, qs):
+    """Batch output and op-count totals must equal the scalar loop's."""
+    c_ref, c_vec = OpCounter(), OpCounter()
+    group.counter = c_ref
+    try:
+        exp = [scalar_fn(p, q) for p, q in zip(ps, qs)]
+        group.counter = c_vec
+        got = batch_fn(group, ps, qs)
+    finally:
+        group.counter = None
+    assert got == exp
+    assert c_ref._totals == c_vec._totals
+
+
+ADD_KINDS = ("normal", "p_inf", "q_inf", "eq", "eq_rep", "neg")
+MIXED_KINDS = ("normal", "q_none", "p_inf", "eq", "neg")
+
+
+def _build_add_lanes(group, name, which, kinds):
+    o = group.ops
+    pool = _pool(name, which)
+    inf = (o.one, o.one, o.zero)
+    ps, qs = [], []
+    for i, kind in enumerate(kinds):
+        a = pool[i % (len(pool) // 2)]
+        b = pool[len(pool) // 2 + i % (len(pool) // 2)]
+        p = _jrep(group, a, 2 + i)
+        if kind == "p_inf":
+            ps.append(inf)
+            qs.append(_jrep(group, b, 3 + i))
+        elif kind == "q_inf":
+            ps.append(p)
+            qs.append(inf)
+        elif kind == "eq":
+            ps.append(p)
+            qs.append(p)
+        elif kind == "eq_rep":
+            ps.append(p)
+            qs.append(_jrep(group, a, 5 + i))
+        elif kind == "neg":
+            ps.append(p)
+            qs.append(_neg(group, _jrep(group, a, 7 + i)))
+        else:
+            ps.append(p)
+            qs.append(_jrep(group, b, 3 + i))
+    return ps, qs
+
+
+def _build_mixed_lanes(group, name, which, kinds):
+    o = group.ops
+    pool = _pool(name, which)
+    inf = (o.one, o.one, o.zero)
+    ps, qs = [], []
+    for i, kind in enumerate(kinds):
+        a = pool[i % (len(pool) // 2)]
+        b = pool[len(pool) // 2 + i % (len(pool) // 2)]
+        if kind == "q_none":
+            ps.append(_jrep(group, a, 2 + i))
+            qs.append(None)
+        elif kind == "p_inf":
+            ps.append(inf)
+            qs.append(b)
+        elif kind == "eq":
+            ps.append(_jrep(group, a, 2 + i))
+            qs.append(a)
+        elif kind == "neg":
+            ps.append(group.to_jacobian(a))
+            qs.append((a[0], o.sub(o.coerce(0), a[1])))
+        else:
+            ps.append(_jrep(group, a, 2 + i))
+            qs.append(b)
+    return ps, qs
+
+
+# -- tiny tier-1 smoke (every curve, G1 + G2, one mix of every lane) -----------
+
+
+@pytest.mark.parametrize("name,which", GROUPS)
+def test_parity_smoke(name, which):
+    group = _group(name, which)
+    assert numpy_curve.supports_group(group)
+    kinds = list(ADD_KINDS) + ["normal", "normal"]
+    ps, qs = _build_add_lanes(group, name, which, kinds)
+    _assert_parity(group, numpy_curve.batch_jadd, group.jadd, ps, qs)
+    mkinds = list(MIXED_KINDS) + ["normal", "normal"]
+    ps, qs = _build_mixed_lanes(group, name, which, mkinds)
+    _assert_parity(group, numpy_curve.batch_jmixed_add, group.jmixed_add,
+                   ps, qs)
+    # doubling, including infinity and a y == 0-free active mix
+    o = group.ops
+    pts = [_jrep(group, p, 2 + i) for i, p in enumerate(_pool(name, which)[:5])]
+    pts[2] = (o.one, o.one, o.zero)
+    c_ref, c_vec = OpCounter(), OpCounter()
+    group.counter = c_ref
+    try:
+        exp = [group.jdouble(p) for p in pts]
+        group.counter = c_vec
+        got = numpy_curve.batch_jdouble(group, pts)
+    finally:
+        group.counter = None
+    assert got == exp
+    assert c_ref._totals == c_vec._totals
+
+
+# -- hypothesis lane-mix fuzz --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", CURVE_NAMES)
+@settings(max_examples=12, deadline=None)
+@given(kinds=st.lists(st.sampled_from(ADD_KINDS), min_size=1, max_size=8),
+       data=st.data())
+def test_fuzz_jadd_lane_mixes(name, kinds, data):
+    which = data.draw(st.sampled_from(["g1", "g2"]), label="group")
+    group = _group(name, which)
+    ps, qs = _build_add_lanes(group, name, which, kinds)
+    _assert_parity(group, numpy_curve.batch_jadd, group.jadd, ps, qs)
+
+
+@pytest.mark.parametrize("name", CURVE_NAMES)
+@settings(max_examples=12, deadline=None)
+@given(kinds=st.lists(st.sampled_from(MIXED_KINDS), min_size=1, max_size=8),
+       data=st.data())
+def test_fuzz_jmixed_lane_mixes(name, kinds, data):
+    which = data.draw(st.sampled_from(["g1", "g2"]), label="group")
+    group = _group(name, which)
+    ps, qs = _build_mixed_lanes(group, name, which, kinds)
+    _assert_parity(group, numpy_curve.batch_jmixed_add, group.jmixed_add,
+                   ps, qs)
+
+
+# -- coverage counters ---------------------------------------------------------
+
+
+def test_batch_dispatch_notes_coverage():
+    coverage.reset()
+    group = CURVES["ALT-BN128"].g1
+    pts = [_jrep(group, p, 2 + i) for i, p in enumerate(_pool(
+        "ALT-BN128", "g1")[:4])]
+    numpy_curve.batch_jdouble(group, pts)
+    snap = coverage.snapshot()
+    assert snap.get("jacobian", {}).get("native", 0) >= 1
+    summary = coverage.summarize(snap)
+    assert "jacobian:native=" in summary
+    drained = coverage.drain()
+    assert drained == snap
+    assert coverage.snapshot() == {}
+
+
+def test_worker_job_emits_native_coverage_event():
+    from repro.service.worker import WorkerState, execute_job
+
+    state = WorkerState(shard=0, verify_inline=False)
+    task = {"job_id": "cov-1", "curve": "ALT-BN128", "circuit": "square",
+            "witness": (7,), "backend": "numpy"}
+    result = execute_job(task, state)
+    assert result["ok"], result.get("error")
+    events = [e for e in result["telemetry"]["events"]
+              if e["kind"] == "native-coverage"]
+    assert len(events) == 1
+    ev = events[0]
+    # the numpy pipeline with loaded kernels runs these families native
+    # (the tiny square domain skips the NTT sweep, so no ntt tally)
+    assert ev["jacobian"]["native"] >= 1
+    assert ev["pointwise"]["native"] >= 1
+    assert ev.get("jacobian", {}).get("fallback", 0) == 0
+    assert "jacobian:native=" in ev["detail"]
+
+
+# -- persistent-cache LRU prune ------------------------------------------------
+
+
+def _run_py(code, env_extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC
+    env.update(env_extra)
+    return subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, timeout=300,
+                          env=env)
+
+
+def test_cache_prune_keeps_newest_digests(tmp_path):
+    """Publishing a fresh digest dir prunes the oldest stale digest
+    dirs down to the cap, never touching the live digest or non-digest
+    entries, and emits a native-kernel-cache-prune event."""
+    stale = [f"{i:016x}" for i in range(4)]
+    for i, d in enumerate(stale):
+        sub = tmp_path / d
+        sub.mkdir()
+        (sub / "kernels.so").write_bytes(b"stale")
+        t = 1_000_000 + i
+        os.utime(sub, (t, t))
+    keep = tmp_path / "autotune"
+    keep.mkdir()
+    code = """
+import json, os
+from repro.backend import native
+assert native.native_available()
+kinds = [e["kind"] for e in native.kernel_events()]
+base = native.cache_base_dir()
+print(json.dumps({"kinds": kinds, "dirs": sorted(os.listdir(base))}))
+"""
+    r = _run_py(code, {"REPRO_NATIVE_CACHE": str(tmp_path),
+                       "REPRO_NATIVE_CACHE_MAX_DIRS": "3"})
+    assert r.returncode == 0, r.stderr
+    import json
+    out = json.loads(r.stdout.strip().splitlines()[-1])
+    assert "native-kernel-cache-prune" in out["kinds"]
+    live = native._source_digest()
+    dirs = out["dirs"]
+    assert live in dirs
+    assert "autotune" in dirs
+    # cap 3 = live digest + 2 newest stale; the 2 oldest are gone
+    assert stale[0] not in dirs and stale[1] not in dirs
+    assert stale[2] in dirs and stale[3] in dirs
+
+
+def test_cache_prune_ignores_non_digest_dirs(tmp_path):
+    (tmp_path / "not-a-digest").mkdir()
+    code = """
+import json, os
+from repro.backend import native
+assert native.native_available()
+print(json.dumps(sorted(os.listdir(native.cache_base_dir()))))
+"""
+    r = _run_py(code, {"REPRO_NATIVE_CACHE": str(tmp_path),
+                       "REPRO_NATIVE_CACHE_MAX_DIRS": "1"})
+    assert r.returncode == 0, r.stderr
+    import json
+    dirs = json.loads(r.stdout.strip().splitlines()[-1])
+    assert "not-a-digest" in dirs
+    assert native._source_digest() in dirs
+
+
+# -- certifier / pricing cross-checks ------------------------------------------
+
+
+def test_certificate_mul_counts_match_formula_constants():
+    from repro.analysis import bounds
+    from repro.curves.weierstrass import CurveGroup
+
+    assert bounds._PDBL_FQ_MULS == CurveGroup.PDBL_FQ_MULS
+    assert bounds._PADD_FQ_MULS == CurveGroup.PADD_FQ_MULS
+    assert bounds._PMIXED_FQ_MULS == CurveGroup.PMIXED_FQ_MULS
+
+
+@pytest.mark.parametrize("name", CURVE_NAMES)
+def test_autotune_pricing_matches_certificate(name):
+    """native_point_op_muls (the autotuner's pricing) and the
+    native-jacobian certificate replay the same kernels, so their
+    per-op mul totals must agree exactly."""
+    from repro.analysis.bounds import certify_native_jacobian
+
+    group = CURVES[name].g1
+    muls = numpy_curve.native_point_op_muls(group)
+    assert muls is not None
+    cert = certify_native_jacobian(name, group.ops.field.modulus)
+    assert cert.ok, [v.name for v in cert.violations()]
+    native_muls = cert.params["native_muls"]
+    consts = group.formula_constants()
+    key = "pdbl" if consts["a_is_zero"] else "pdbl_a"
+    assert muls["pdbl"] == native_muls[key]
+    assert muls["padd"] == native_muls["padd"]
+    assert muls["pmixed"] == native_muls["pmixed"]
