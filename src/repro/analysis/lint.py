@@ -38,7 +38,7 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.analysis.report import LintFinding
 
@@ -64,11 +64,37 @@ class ModuleInfo:
             if m:
                 codes = {c.strip() for c in m.group(1).split(",")}
                 self.allow[lineno] = {c for c in codes if c}
+        #: (start, end) line spans an allow comment extends over: a
+        #: simple statement's full extent, a compound statement's
+        #: header (decorators included, body excluded) — so the
+        #: comment can sit on any line of a multi-line call/raise or
+        #: on a decorator line above the flagged ``def``
+        self._spans: List[Tuple[int, int]] = []
+        if self.allow:
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                start = node.lineno
+                for dec in getattr(node, "decorator_list", []):
+                    start = min(start, dec.lineno)
+                body = getattr(node, "body", None)
+                if (isinstance(body, list) and body
+                        and isinstance(body[0], ast.stmt)):
+                    end = max(start, body[0].lineno - 1)
+                else:
+                    end = node.end_lineno or node.lineno
+                if end > start:
+                    self._spans.append((start, end))
 
     def suppressed(self, code: str, lineno: int) -> bool:
         for ln in (lineno, lineno - 1):
             if code in self.allow.get(ln, ()):
                 return True
+        for start, end in self._spans:
+            if start <= lineno <= end:
+                if any(start <= ln <= end and code in codes
+                       for ln, codes in self.allow.items()):
+                    return True
         return False
 
 

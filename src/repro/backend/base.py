@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.declass import declassify
+
 __all__ = ["ComputeBackend"]
 
 
@@ -77,6 +79,9 @@ class ComputeBackend:
 
     # -- scalar front-end -------------------------------------------------------
 
+    @declassify("MSM scalar front-end: the digit matrix feeds bucket "
+                "routing, which GZKP treats as public workload "
+                "shape (Figure 6)")
     def digits_matrix(self, scalars: Sequence[int], scalar_bits: int,
                       window: int) -> Sequence[Sequence[int]]:
         """Base-2^k digit matrix of a whole scalar vector: row i holds

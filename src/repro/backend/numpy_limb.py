@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.declass import declassify
 from repro.backend import coverage as _coverage
 from repro.backend.base import ComputeBackend
 from repro.backend.native import get_native_field
@@ -450,6 +451,9 @@ class NumpyLimbBackend(ComputeBackend):
 
     # -- scalar front-end -------------------------------------------------------
 
+    @declassify("MSM scalar front-end (vectorized): digit matrices "
+                "feed bucket routing, GZKP's public workload shape "
+                "(Figure 6)")
     def digits_matrix(self, scalars: Sequence[int], scalar_bits: int,
                       window: int) -> "_np.ndarray":
         """All windows of all scalars at once: the scalar vector becomes

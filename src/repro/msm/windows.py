@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.analysis.declass import declassify
 from repro.errors import MsmError
 
 __all__ = ["num_windows", "scalar_digits", "bucket_histogram", "DigitStats"]
@@ -27,6 +28,10 @@ def num_windows(scalar_bits: int, window: int) -> int:
     return -(-scalar_bits // window)  # ceil
 
 
+@declassify("GZKP's bucket pipeline is data-dependent by design: the "
+             "digit distribution IS the workload model (Figure 6), and "
+             "bucket routing downstream of this decomposition is "
+             "treated as public scheduling input")
 def scalar_digits(scalar: int, scalar_bits: int, window: int) -> List[int]:
     """Base-2^k digits of one scalar, least-significant window first."""
     if scalar < 0:

@@ -39,6 +39,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from repro.analysis.declass import declassify
+
 _OpCounter = None
 
 
@@ -54,7 +56,29 @@ def _opcounter_class():
     return _OpCounter
 
 __all__ = ["Span", "Telemetry", "maybe_span", "phase_breakdown",
-           "splice_phase", "NULL_SPAN"]
+           "splice_phase", "scrub_payload", "NULL_SPAN"]
+
+#: key fragments that must never leave the worker in telemetry — the
+#: runtime mirror of the static R009 rule.  Matching values are
+#: replaced (not dropped) so a leak attempt stays visible in the
+#: export without carrying the data.
+_SECRET_KEY_FRAGMENTS = ("witness", "assignment", "trapdoor")
+
+SCRUBBED = "[scrubbed]"
+
+
+def scrub_payload(mapping: Dict[str, object]) -> Dict[str, object]:
+    """Replace values of witness-like keys with :data:`SCRUBBED`.
+
+    Spans and events travel back over the result wire and into shard
+    rollups that outlive the job, so secret material must be stopped
+    here even if a caller slips past the static analysis.
+    """
+    return {
+        k: (SCRUBBED if any(f in k.lower()
+                            for f in _SECRET_KEY_FRAGMENTS) else v)
+        for k, v in mapping.items()
+    }
 
 
 class Span:
@@ -65,7 +89,7 @@ class Span:
 
     def __init__(self, name: str, **meta):
         self.name = name
-        self.meta: Dict[str, object] = dict(meta)
+        self.meta: Dict[str, object] = scrub_payload(meta)
         self.children: List[Span] = []
         self.counter = _opcounter_class()()
         self.wall_seconds: float = 0.0
@@ -110,7 +134,9 @@ class Span:
             "name": self.name,
             "seconds": self.wall_seconds,
             "ops": {k: v for k, v in self.total_ops().items() if v},
-            "meta": dict(self.meta),
+            # meta is scrubbed at construction; scrub again in case a
+            # caller mutated the dict after the span opened
+            "meta": scrub_payload(self.meta),
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -153,6 +179,9 @@ class Telemetry:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    @declassify("span names/meta are operational labels checked as "
+                "R006 sinks at every call site and scrubbed of "
+                "witness-like keys at export by the runtime guard")
     @contextmanager
     def span(self, name: str, parent: Optional[Span] = None,
              **meta) -> Iterator[Span]:
@@ -177,10 +206,17 @@ class Telemetry:
 
     # -- events -----------------------------------------------------------------
 
+    @declassify("event payloads are operational labels checked as "
+                "R006 sinks at every call site and scrubbed of "
+                "witness-like keys at export by the runtime guard")
     def record_event(self, kind: str, detail: str = "", **extra) -> None:
-        """Append a flat event (downgrade, retry, fallback...)."""
+        """Append a flat event (downgrade, retry, fallback...).
+
+        Witness-like keys in ``extra`` are scrubbed — events cross the
+        result wire and feed shard rollups that outlive the job.
+        """
         event = {"kind": kind, "detail": detail}
-        event.update(extra)
+        event.update(scrub_payload(extra))
         with self._lock:
             self.events.append(event)
 
@@ -197,6 +233,9 @@ class Telemetry:
         }
 
 
+@declassify("span names/meta are operational labels checked as R006 "
+            "sinks at every call site and scrubbed of witness-like "
+            "keys at export by the runtime guard")
 @contextmanager
 def maybe_span(telemetry: Optional[Telemetry], name: str,
                parent: Optional[Span] = None, **meta) -> Iterator[object]:

@@ -29,6 +29,7 @@ import random
 import threading
 from typing import Dict, Optional, Tuple
 
+from repro.analysis.declass import declassify
 from repro.curves.params import CURVES
 from repro.errors import ReproError, ValidationError
 from repro.msm.context import MsmContextCache, ScopedContextCache
@@ -37,7 +38,7 @@ from repro.service.telemetry import Telemetry
 
 __all__ = ["SetupBundle", "ProverHandle", "ForkLocalExecutor",
            "WorkerState", "execute_job", "worker_main", "SETUP_SEED_FMT",
-           "reset_backend_state", "resolve_backend"]
+           "reset_backend_state", "resolve_backend", "public_statement"]
 
 #: Seed format for the deterministic per-(curve, circuit) trusted setup.
 #: Anyone holding the job's curve and circuit names can re-derive the
@@ -287,6 +288,21 @@ class WorkerState:
                                  handle)
 
 
+@declassify("the first n_public slots of a full assignment are the "
+            "job's public statement — the x the verifier receives in "
+            "the clear; slots past them (the actual witness) are never "
+            "touched here")
+def public_statement(assignment, n_public: int) -> tuple:
+    """Project the public inputs out of a full R1CS assignment.
+
+    Slot 0 is the constant ONE wire; slots ``1 .. n_public`` are the
+    statement being proven, which Groth16 hands to the verifier in the
+    clear.  Witness slots start after the cut and stay inside the
+    worker.
+    """
+    return tuple(assignment[1:1 + n_public])
+
+
 def execute_job(task: dict, state: WorkerState,
                 worker_index: Optional[int] = None) -> dict:
     """Run one job end to end: context lookup/build, prove (POLY +
@@ -322,9 +338,8 @@ def execute_job(task: dict, state: WorkerState,
                 assignment = handle.spec.assign(handle.curve.fr,
                                                 task["witness"])
             proof = handle.prover.prove(assignment, telemetry=telemetry)
-            public_inputs = tuple(
-                assignment[1:1 + handle.r1cs.n_public]
-            )
+            public_inputs = public_statement(assignment,
+                                             handle.r1cs.n_public)
             result["public_inputs"] = public_inputs
             if state.verify_inline:
                 with telemetry.span("verify"):
